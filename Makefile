@@ -1,0 +1,25 @@
+# Developer entry points for the correlation-rule-mining reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples docs-check all
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/market_basket_pitfalls.py
+	$(PYTHON) examples/census_mining.py
+	$(PYTHON) examples/records_pipeline.py
+	$(PYTHON) examples/beyond_binary.py
+	$(PYTHON) examples/text_mining.py --max-level 2
+	$(PYTHON) examples/quest_pruning.py
+
+all: test bench

@@ -1,0 +1,103 @@
+"""Ablation: chi-squared vs exact tests on small-expectation tables (§3.3).
+
+Section 3.3 rules the chi-squared approximation out when expected cell
+values are small and wishes for "an exact calculation for the
+probability".  This benchmark quantifies the trade on a 2x2 table that
+fails the rule of thumb: the asymptotic p-value vs Fisher's exact test
+vs the Monte-Carlo exact test, with their costs.
+"""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared, robust_independence_test
+from repro.core.itemsets import Itemset
+from repro.stats import chi2 as chi2_dist
+from repro.stats.exact import permutation_p_value
+from repro.stats.fisher import fisher_exact_2x2
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    """A rare pair: n = 60, expectations of the presence cells < 2."""
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: 4, 0b01: 3, 0b10: 2, 0b00: 51}
+    )
+
+
+def test_chi2_asymptotic(benchmark, report, small_table):
+    def run():
+        stat = chi_squared(small_table)
+        return stat, chi2_dist.sf(stat, 1)
+
+    stat, p = benchmark(run)
+    validity = small_table.validity()
+    report(
+        "",
+        f"chi-squared (asymptotic): stat={stat:.3f} p={p:.4f} "
+        f"[approximation INVALID here: min E = {validity.min_expected:.2f}]",
+    )
+    assert not validity.is_valid
+
+
+def test_fisher_exact(benchmark, report, small_table):
+    def run():
+        return fisher_exact_2x2(
+            round(small_table.observed(0b11)),
+            round(small_table.observed(0b01)),
+            round(small_table.observed(0b10)),
+            round(small_table.observed(0b00)),
+        )
+
+    result = benchmark(run)
+    report("", f"Fisher exact: p={result.p_value:.4f} (conditional on margins)")
+    assert 0.0 < result.p_value <= 1.0
+
+
+def test_permutation_exact(benchmark, report, small_table):
+    result = benchmark.pedantic(
+        permutation_p_value,
+        args=(small_table,),
+        kwargs=dict(rounds=2000, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "",
+        f"Monte-Carlo exact (2000 rounds): p={result.p_value:.4f} "
+        f"(se {result.standard_error:.4f})",
+    )
+    assert 0.0 < result.p_value <= 1.0
+
+
+def test_robust_escalation(benchmark, report, small_table):
+    """The dispatcher picks the exact test on this table automatically."""
+    result = benchmark(robust_independence_test, small_table)
+    report(
+        "",
+        f"robust_independence_test chose: {result.method} (p={result.p_value:.4f})",
+    )
+    assert result.method == "fisher"
+
+
+def test_agreement_where_chi2_valid(benchmark, report):
+    """On a healthy table all three p-values agree closely."""
+    table = ContingencyTable(
+        Itemset([0, 1]), {0b11: 130, 0b01: 120, 0b10: 110, 0b00: 140}
+    )
+
+    def run():
+        stat = chi_squared(table)
+        asymptotic = chi2_dist.sf(stat, 1)
+        fisher = fisher_exact_2x2(130, 120, 110, 140).p_value
+        return asymptotic, fisher
+
+    asymptotic, fisher = benchmark(run)
+    monte_carlo = permutation_p_value(table, rounds=2000, seed=2).p_value
+    report(
+        "",
+        f"healthy table: chi2 p={asymptotic:.4f}, Fisher p={fisher:.4f}, "
+        f"Monte-Carlo p={monte_carlo:.4f} — all in agreement",
+    )
+    assert fisher == pytest.approx(asymptotic, abs=0.05)
+    assert monte_carlo == pytest.approx(asymptotic, abs=0.05)

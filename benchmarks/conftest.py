@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures: datasets and an uncaptured reporter.
+
+Every benchmark prints the paper-style table it regenerates through the
+``report`` fixture (which bypasses pytest's capture so the rows land in
+the benchmark log), and times the computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.census import synthesize_census
+from repro.data.corpusgen import generate_news_corpus
+from repro.data.quest import QuestParameters, generate_quest
+from repro.data.text import TextPipeline
+
+
+@pytest.fixture
+def report(capsys):
+    """Print through pytest's capture so tables appear in the run log."""
+
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _report
+
+
+@pytest.fixture(scope="session")
+def census_db():
+    """The reconstructed 30 370-person census (paper §5.1)."""
+    return synthesize_census()
+
+
+@pytest.fixture(scope="session")
+def text_db():
+    """The synthetic 91-article news corpus after §5.2 preprocessing."""
+    return TextPipeline(min_words=200, min_document_frequency=0.10).run(
+        generate_news_corpus()
+    )
+
+
+@pytest.fixture(scope="session")
+def quest_db():
+    """Paper-scale Quest data: 99 997 baskets x 870 items (§5.3)."""
+    return generate_quest(QuestParameters())
+
+
+@pytest.fixture(scope="session")
+def quest_db_small():
+    """A faster Quest slice with the same statistical shape, for ablations."""
+    return generate_quest(
+        QuestParameters(n_transactions=20_000, n_items=300, n_patterns=700, seed=1997)
+    )

@@ -1,0 +1,104 @@
+"""The pitfalls of support-confidence, dramatized (Examples 1 and 2).
+
+Two short morality plays from the paper:
+
+1. *Misleading rules* — ``tea => coffee`` passes any reasonable support
+   and confidence bar while tea actually DEPRESSES coffee purchases
+   (Example 1); and a negative implication the framework cannot even
+   express (batteries vs cat food).
+2. *No border for confidence* — ``c => d`` is confident but its superset
+   rule ``{c, t} => d`` is not (Example 2), so confidence cannot drive
+   lattice pruning, while the chi-squared border can.
+
+    python examples/market_basket_pitfalls.py
+"""
+
+from repro import BasketDatabase, compare_frameworks
+from repro.core.interest import interest
+from repro.measures.classic import confidence, rule_stats
+
+
+def tea_coffee() -> None:
+    print("=" * 72)
+    print("Example 1: a rule that passes support-confidence yet is misleading")
+    print("=" * 72)
+    db = BasketDatabase.from_baskets(
+        [["tea", "coffee"]] * 20 + [["coffee"]] * 70 + [["tea"]] * 5 + [[]] * 5
+    )
+    comparison = compare_frameworks(db, ["tea", "coffee"])
+    tea = db.vocabulary.encode(["tea"])
+    coffee = db.vocabulary.encode(["coffee"])
+    stats = rule_stats(db, tea, coffee)
+    print(f"tea => coffee: support={stats.support:.2f}, confidence={stats.confidence:.2f}")
+    print("  -> accepted by support-confidence at (s=5%, c=50%)")
+    both = comparison.correlation.table.cell_of_pattern((True, True))
+    print(f"lift / interest of (tea AND coffee) = {interest(comparison.correlation.table, both):.2f}")
+    print(
+        f"chi-squared = {comparison.chi_squared:.2f} "
+        f"(cutoff {comparison.correlation.result.cutoff:.2f})"
+    )
+    print(
+        "  -> the correlation framework reports NEGATIVE dependence:\n"
+        "     a tea buyer is LESS likely to buy coffee than average (0.89 < 1).\n"
+    )
+
+
+def batteries_catfood() -> None:
+    print("=" * 72)
+    print("Negative implication: invisible to support-confidence")
+    print("=" * 72)
+    db = BasketDatabase.from_baskets(
+        [["batteries"]] * 30 + [["catfood"]] * 30 + [["batteries", "catfood"]] * 2 + [[]] * 38
+    )
+    comparison = compare_frameworks(db, ["batteries", "catfood"])
+    table = comparison.correlation.table
+    both = table.cell_of_pattern((True, True))
+    print(
+        f"P[batteries and catfood] = {table.observed(both) / table.n:.2f}, "
+        f"interest = {interest(table, both):.2f}"
+    )
+    print(f"chi-squared = {comparison.chi_squared:.2f}: significant negative correlation")
+    print(
+        "  -> 'people who buy batteries do NOT buy cat food' is mineable as a\n"
+        "     correlation rule; the support-confidence framework can only stay silent."
+    )
+    # The dedicated miner for this rule type (anti-support + Fisher exact,
+    # valid even where chi-squared's approximation is not):
+    from repro.algorithms.negative import mine_negative_implications
+
+    for implication in mine_negative_implications(db, min_item_count=20, max_cooccurrence=5):
+        print("  negative miner:", implication.describe(db.vocabulary))
+    print()
+
+
+def confidence_has_no_border() -> None:
+    print("=" * 72)
+    print("Example 2: confidence is not upward closed (no border)")
+    print("=" * 72)
+    db = BasketDatabase.from_baskets(
+        [["c", "t", "d"]] * 8
+        + [["c", "d"]] * 40
+        + [["c", "t"]] * 10
+        + [["c"]] * 35
+        + [["d"]] * 4
+        + [[]] * 3
+    )
+    c = db.vocabulary.encode(["c"])
+    d = db.vocabulary.encode(["d"])
+    ct = db.vocabulary.encode(["c", "t"])
+    conf_c = confidence(db, c, d)
+    conf_ct = confidence(db, ct, d)
+    print(f"confidence(c => d)    = {conf_c:.2f}  (>= 0.50: accepted)")
+    print(f"confidence(c,t => d)  = {conf_ct:.2f}  (<  0.50: rejected)")
+    print(
+        "  -> a superset fails where its subset passed, so there is no\n"
+        "     border in the lattice and confidence testing must remain a\n"
+        "     post-processing step.  Chi-squared significance IS upward\n"
+        "     closed (Theorem 1), which is what makes border mining work."
+    )
+
+
+if __name__ == "__main__":
+    tea_coffee()
+    batteries_catfood()
+    confidence_has_no_border()

@@ -1,0 +1,60 @@
+"""From raw census answers to correlation rules — the full §5.1 pipeline.
+
+The paper's census experiment implicitly contains a preprocessing step:
+individual answers ("carpools", age 37, two children, ...) are collapsed
+into the ten binary items of Table 1. This example runs that whole
+pipeline: synthesize raw person records, apply the Table 1 collapse via
+the discretization schema, mine the result, and compare rule rankings —
+the Example 4 argument that support-ordering buries what chi-squared
+finds dominant.
+
+    python examples/records_pipeline.py
+"""
+
+from repro import CellSupport, ChiSquaredSupportMiner
+from repro.data.census import CENSUS_ATTRIBUTES
+from repro.data.census_records import census_schema, synthesize_census_records
+from repro.data.discretize import discretize
+from repro.measures.ranking import (
+    rank_by_statistic,
+    rank_by_support,
+    ranking_displacement,
+)
+
+
+def main() -> None:
+    records = synthesize_census_records()
+    print(f"raw records: {len(records)} people")
+    sample = records[0]
+    print("  e.g.", {k: sample[k] for k in ("commute", "sex", "age", "married")})
+
+    schema = census_schema()
+    db = discretize(records, schema)
+    print(f"collapsed to {db.n_items} binary items (Table 1 schema):")
+    for j, attribute in enumerate(CENSUS_ATTRIBUTES[:4]):
+        print(f"  i{j}: {attribute.attribute!r}")
+    print("  ...\n")
+
+    support = CellSupport(count=0.01 * db.n_baskets, fraction=0.26)
+    result = ChiSquaredSupportMiner(significance=0.95, support=support).mine(db)
+    pairs = [r for r in result.rules if len(r.itemset) == 2]
+    print(f"significant pairs: {len(pairs)} of 45\n")
+
+    by_support = rank_by_support(pairs)
+    by_statistic = rank_by_statistic(pairs)
+    print("top 5 by SUPPORT (the traditional ranking):")
+    for rule in by_support[:5]:
+        print("  ", rule.describe(db.vocabulary))
+    print("top 5 by CHI-SQUARED (the paper's ranking):")
+    for rule in by_statistic[:5]:
+        print("  ", rule.describe(db.vocabulary))
+
+    displacement = ranking_displacement(by_support, by_statistic)
+    print(
+        f"\nmean rank displacement between the two orders: {displacement:.1f} positions"
+        f" (over {len(pairs)} rules) — Example 4's complaint, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

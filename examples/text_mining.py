@@ -1,0 +1,77 @@
+"""Text mining: replay Section 5.2 — term dependence in news articles.
+
+Generates the synthetic clari.world.africa-style corpus (91 articles),
+runs the paper's preprocessing (alphabetic tokenization, 200-word floor,
+10% document-frequency pruning) and mines correlated word itemsets,
+printing a Table 4-style report of correlated words with their major
+dependence.
+
+    python examples/text_mining.py [--max-level N]
+"""
+
+import argparse
+
+from repro import CellSupport, ChiSquaredSupportMiner
+from repro.core.rules import format_cell
+from repro.data.corpusgen import generate_news_corpus
+from repro.data.text import TextPipeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--max-level",
+        type=int,
+        default=3,
+        help="largest itemset size to mine (2 = pairs only, fast; 3 = paper's depth)",
+    )
+    args = parser.parse_args()
+
+    documents = generate_news_corpus()
+    db = TextPipeline(min_words=200, min_document_frequency=0.10).run(documents)
+    print(
+        f"corpus: {db.n_baskets} articles, {db.n_items} distinct words "
+        "after df >= 10% pruning\n"
+    )
+
+    # Like the paper, report word pairs and triples; with a dense
+    # uncorrelated background vocabulary, deeper levels explode
+    # combinatorially without adding reportable structure.
+    support = CellSupport(count=5, fraction=0.3)
+    result = ChiSquaredSupportMiner(
+        significance=0.95, support=support, max_level=args.max_level
+    ).mine(db)
+
+    pairs = [r for r in result.rules if len(r.itemset) == 2]
+    triples = [r for r in result.rules if len(r.itemset) == 3]
+    total_pairs = db.n_items * (db.n_items - 1) // 2
+    print(
+        f"correlated pairs: {len(pairs)} of {total_pairs} "
+        f"({100 * len(pairs) / total_pairs:.1f}%)"
+    )
+    print(f"minimal correlated triples: {len(triples)}\n")
+
+    print(f"{'correlated words':<38} {'chi2':>9}  major dependence")
+    print("-" * 78)
+    interesting = sorted(pairs, key=lambda r: -r.statistic)[:10] + sorted(
+        triples, key=lambda r: -r.statistic
+    )[:4]
+    for rule in interesting:
+        words = " ".join(db.vocabulary.decode(rule.itemset))
+        major = rule.major_dependence()
+        cell = format_cell(rule.itemset, major.pattern, db.vocabulary)
+        print(f"{words:<38} {rule.statistic:>9.3f}  [{cell}] I={major.interest:.2f}")
+
+    if triples:
+        print(
+            "\nNote: as in the paper, no triple approaches the chi-squared "
+            "magnitude of the top pairs\n(minimal 3-way correlations are "
+            "weak residuals once the pairwise structure is removed):"
+        )
+        top_triple = max(r.statistic for r in triples)
+        top_pair = max(r.statistic for r in pairs)
+        print(f"  max pair chi2 = {top_pair:.1f}, max triple chi2 = {top_triple:.1f}")
+
+
+if __name__ == "__main__":
+    main()

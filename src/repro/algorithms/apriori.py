@@ -1,0 +1,169 @@
+"""Apriori: the support-confidence baseline (Agrawal-Srikant [5]).
+
+The paper contrasts its correlation framework against "the
+support-confidence framework for association rules" throughout; this
+module provides that baseline.  Frequent-itemset discovery is the
+classic level-wise search exploiting the *downward closure* of support
+("if a set of items has support, then all its subsets also have
+support"); rule generation from the frequent sets lives in
+:mod:`repro.algorithms.rulegen`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.core.itemsets import Itemset
+from repro.core.lattice import apriori_join
+from repro.data.basket import BasketDatabase
+
+__all__ = ["AprioriResult", "apriori", "brute_force_frequent"]
+
+
+@dataclass(frozen=True, slots=True)
+class AprioriLevelStats:
+    """Per-level counters, comparable with the chi2-support miner's."""
+
+    level: int
+    lattice_itemsets: int
+    candidates: int
+    frequent: int
+
+
+@dataclass(slots=True)
+class AprioriResult:
+    """Frequent itemsets with their absolute support counts."""
+
+    counts: dict[Itemset, int]
+    n_baskets: int
+    min_support_count: int
+    level_stats: list[AprioriLevelStats]
+
+    def support(self, itemset: Itemset) -> float:
+        """Relative support of a frequent itemset (KeyError if infrequent)."""
+        return self.counts[itemset] / self.n_baskets
+
+    def itemsets(self, size: int | None = None) -> list[Itemset]:
+        """All frequent itemsets, optionally restricted to one size."""
+        found = (s for s in self.counts if size is None or len(s) == size)
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self.counts
+
+
+def apriori(
+    db: BasketDatabase,
+    min_support: float | None = None,
+    min_support_count: int | None = None,
+    max_size: int | None = None,
+    counting: str = "bitmap",
+) -> AprioriResult:
+    """Mine all frequent itemsets at the given support threshold.
+
+    Exactly one of ``min_support`` (a fraction of baskets) or
+    ``min_support_count`` (an absolute count) must be given.
+
+    ``counting`` selects the support-counting machinery: ``"bitmap"``
+    (default — a popcount of intersected item bitmaps per candidate) or
+    ``"hashtree"`` (the original Agrawal–Srikant structure: one pass
+    over the baskets per level through a candidate hash tree,
+    :class:`repro.hashing.hashtree.HashTree`).  Results are identical.
+    """
+    if (min_support is None) == (min_support_count is None):
+        raise ValueError("specify exactly one of min_support / min_support_count")
+    if counting not in ("bitmap", "hashtree"):
+        raise ValueError(f"unknown counting strategy {counting!r}")
+    if min_support is not None:
+        if not 0.0 < min_support <= 1.0:
+            raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+        threshold = min_support * db.n_baskets
+    else:
+        assert min_support_count is not None
+        if min_support_count < 1:
+            raise ValueError(f"min_support_count must be >= 1, got {min_support_count}")
+        threshold = float(min_support_count)
+
+    counts: dict[Itemset, int] = {}
+    stats: list[AprioriLevelStats] = []
+    k = db.n_items
+
+    frequent_level: list[Itemset] = []
+    item_counts = db.item_counts()
+    for item in db.vocabulary.ids():
+        if item_counts[item] >= threshold:
+            itemset = Itemset([item])
+            counts[itemset] = item_counts[item]
+            frequent_level.append(itemset)
+    stats.append(
+        AprioriLevelStats(level=1, lattice_itemsets=k, candidates=k, frequent=len(frequent_level))
+    )
+
+    size = 2
+    while frequent_level and (max_size is None or size <= max_size):
+        frequent_set = set(frequent_level)
+        candidates = [
+            candidate
+            for candidate in apriori_join(frequent_level)
+            if all(subset in frequent_set for subset in candidate.immediate_subsets())
+        ]
+        if counting == "hashtree" and candidates:
+            from repro.hashing.hashtree import HashTree
+
+            tree = HashTree(candidates)
+            tree.count_baskets(db)
+            candidate_counts = tree.counts()
+        else:
+            candidate_counts = None
+        next_level: list[Itemset] = []
+        for candidate in candidates:
+            if candidate_counts is not None:
+                count = candidate_counts[candidate]
+            else:
+                count = db.support_count(candidate)
+            if count >= threshold:
+                counts[candidate] = count
+                next_level.append(candidate)
+        stats.append(
+            AprioriLevelStats(
+                level=size,
+                lattice_itemsets=comb(k, size),
+                candidates=len(candidates),
+                frequent=len(next_level),
+            )
+        )
+        frequent_level = next_level
+        size += 1
+
+    return AprioriResult(
+        counts=counts,
+        n_baskets=db.n_baskets,
+        min_support_count=int(threshold) if threshold == int(threshold) else int(threshold) + 1,
+        level_stats=stats,
+    )
+
+
+def brute_force_frequent(
+    db: BasketDatabase, min_support_count: int, max_size: int | None = None
+) -> dict[Itemset, int]:
+    """Exhaustive frequent-itemset enumeration — the test oracle.
+
+    Counts every itemset up to ``max_size`` directly; exponential in the
+    item count, for small test databases only.
+    """
+    from itertools import combinations
+
+    items = list(db.vocabulary.ids())
+    top = len(items) if max_size is None else min(max_size, len(items))
+    result: dict[Itemset, int] = {}
+    for size in range(1, top + 1):
+        for combo in combinations(items, size):
+            itemset = Itemset(combo)
+            count = db.support_count(itemset)
+            if count >= min_support_count:
+                result[itemset] = count
+    return result

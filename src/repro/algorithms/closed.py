@@ -1,0 +1,98 @@
+"""Maximal and closed frequent itemsets — the support border.
+
+Section 2.2 frames upward-closed properties through their border; the
+downward-closed mirror image is classical: the **maximal frequent
+itemsets** are exactly the (upper) border of the support predicate —
+"discovering all most specific sentences" in the language of the
+random-walk paper [14] this work builds on.  **Closed** itemsets refine
+the picture: an itemset is closed when no proper superset has the same
+support, and the closed sets compress the full frequent collection
+without losing any counts.
+
+Both are post-processing over an
+:class:`~repro.algorithms.apriori.AprioriResult`; no further database
+passes are needed (every superset a check consults is itself frequent
+when it matters).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.apriori import AprioriResult
+from repro.core.border import Border
+from repro.core.itemsets import Itemset
+
+__all__ = ["maximal_frequent", "closed_frequent", "support_border"]
+
+
+def maximal_frequent(result: AprioriResult) -> list[Itemset]:
+    """Frequent itemsets with no frequent proper superset.
+
+    The upper border of support: every frequent itemset is a subset of
+    some maximal one, and everything above the maximal sets is
+    infrequent.  O(total frequent * average size) via immediate-superset
+    containment checks against the frequent family, exploiting that a
+    frequent superset of S of any size implies a frequent immediate
+    superset (downward closure).
+    """
+    frequent = set(result.counts)
+    by_size: dict[int, set[Itemset]] = {}
+    for itemset in frequent:
+        by_size.setdefault(len(itemset), set()).add(itemset)
+    maximal: list[Itemset] = []
+    all_items = {item for itemset in frequent for item in itemset}
+    for itemset in frequent:
+        has_frequent_superset = any(
+            itemset.add(item) in by_size.get(len(itemset) + 1, ())
+            for item in all_items
+            if item not in itemset
+        )
+        if not has_frequent_superset:
+            maximal.append(itemset)
+    return sorted(maximal)
+
+
+def closed_frequent(result: AprioriResult) -> dict[Itemset, int]:
+    """Frequent itemsets whose every proper superset has strictly lower support.
+
+    Returns the closed sets with their counts — a lossless compression
+    of the frequent collection: the support of any frequent itemset is
+    the maximum count among the closed supersets containing it.
+    """
+    counts = result.counts
+    by_size: dict[int, set[Itemset]] = {}
+    for itemset in counts:
+        by_size.setdefault(len(itemset), set()).add(itemset)
+    all_items = {item for itemset in counts for item in itemset}
+    closed: dict[Itemset, int] = {}
+    for itemset, count in counts.items():
+        bigger = by_size.get(len(itemset) + 1, ())
+        is_closed = True
+        for item in all_items:
+            if item in itemset:
+                continue
+            superset = itemset.add(item)
+            if superset in bigger and counts[superset] == count:
+                is_closed = False
+                break
+        if is_closed:
+            closed[itemset] = count
+    return closed
+
+
+def support_border(result: AprioriResult) -> Border:
+    """The maximal frequent itemsets packaged as a :class:`Border`.
+
+    Note the orientation: support is downward closed, so this border
+    bounds the frequent region from *above* (its ``covers`` method
+    answers "is every subset of this itemset frequent" for itemsets on
+    or below an element — use ``any(element.issuperset(s))``).  The
+    antichain structure and validation are what :class:`Border`
+    provides; orientation is the caller's concern.
+    """
+    border = Border()
+    for itemset in maximal_frequent(result):
+        # maximal sets form an antichain already; add_minimal skips the
+        # dominance scan.
+        border.add_minimal(itemset)
+    border.validate()
+    return border

@@ -1,0 +1,124 @@
+"""Negative implication mining — the fire-code scenario (§1, §4).
+
+The introduction motivates rules the support-confidence framework cannot
+express: "fire code inspectors trying to mine useful fire prevention
+measures might like to know of any negative correlations between
+certain types of electrical wiring and the occurrence of fires", and
+"when people buy batteries, they do not usually also buy cat food".
+Section 4 adds the pruning idea — **anti-support**, "where only rarely
+occurring combinations of items are interesting" — but forbids pairing
+it with the chi-squared test, whose approximation collapses exactly on
+the rare events anti-support selects.
+
+This module completes the thought with the tool §3.3 recommends for
+that regime: mine pairs of *individually common* items whose
+*co-occurrence* is rare (the anti-support filter), and certify the
+negative dependence with **Fisher's exact test**, which is valid at any
+cell count.  The output is the paper's missing rule type: "people who
+have A tend not to have B", with an exact p-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.stats.fisher import FisherResult, fisher_exact_2x2
+
+__all__ = ["NegativeImplication", "mine_negative_implications"]
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeImplication:
+    """A certified 'A tends to exclude B' pattern.
+
+    Attributes:
+        itemset: the two mutually-avoiding items.
+        cooccurrences: observed baskets containing both.
+        expected_cooccurrences: count expected under independence.
+        fisher: the exact test result (two-sided p-value, odds ratio).
+    """
+
+    itemset: Itemset
+    cooccurrences: int
+    expected_cooccurrences: float
+    fisher: FisherResult
+
+    @property
+    def p_value(self) -> float:
+        """Exact two-sided p-value of the dependence."""
+        return self.fisher.p_value
+
+    def describe(self, vocabulary=None) -> str:
+        """One-line rendering of the negative implication."""
+        if vocabulary is not None:
+            a, b = vocabulary.decode(self.itemset)
+        else:
+            a, b = (f"i{item}" for item in self.itemset)
+        return (
+            f"{a} -/-> {b}: seen together {self.cooccurrences}x, "
+            f"expected {self.expected_cooccurrences:.1f}x "
+            f"(exact p={self.p_value:.2g}, odds ratio {self.fisher.odds_ratio:.3f})"
+        )
+
+
+def mine_negative_implications(
+    db: BasketDatabase,
+    min_item_count: int,
+    max_cooccurrence: int,
+    significance: float = 0.95,
+) -> list[NegativeImplication]:
+    """Find pairs of common items that avoid each other.
+
+    Args:
+        db: the basket database.
+        min_item_count: both items must individually occur at least this
+            often (the "support" half — the pattern must involve things
+            that actually happen).
+        max_cooccurrence: the pair may co-occur at most this often (the
+            anti-support ceiling of §4).
+        significance: acceptance level; a pair is reported when Fisher's
+            exact two-sided p-value is <= 1 - significance *and* the
+            dependence is negative (fewer co-occurrences than expected).
+
+    Returns implications sorted by ascending p-value.
+    """
+    if min_item_count < 1:
+        raise ValueError(f"min_item_count must be >= 1, got {min_item_count}")
+    if max_cooccurrence < 0:
+        raise ValueError(f"max_cooccurrence must be >= 0, got {max_cooccurrence}")
+    if not 0.0 < significance < 1.0:
+        raise ValueError(f"significance must be in (0, 1), got {significance}")
+    alpha = 1.0 - significance
+    n = db.n_baskets
+    if n == 0:
+        raise ValueError("cannot mine an empty database")
+
+    counts = db.item_counts()
+    common = [item for item in db.vocabulary.ids() if counts[item] >= min_item_count]
+
+    results: list[NegativeImplication] = []
+    for a, b in combinations(common, 2):
+        both = (db.item_bitmap(a) & db.item_bitmap(b)).bit_count()
+        if both > max_cooccurrence:
+            continue
+        expected = counts[a] * counts[b] / n
+        if both >= expected:
+            continue  # not a negative dependence
+        only_a = counts[a] - both
+        only_b = counts[b] - both
+        neither = n - counts[a] - counts[b] + both
+        fisher = fisher_exact_2x2(both, only_a, only_b, neither)
+        if fisher.p_value <= alpha:
+            results.append(
+                NegativeImplication(
+                    itemset=Itemset((a, b)),
+                    cooccurrences=both,
+                    expected_cooccurrences=expected,
+                    fisher=fisher,
+                )
+            )
+    results.sort(key=lambda implication: implication.p_value)
+    return results

@@ -1,0 +1,182 @@
+"""Random-walk border discovery (paper §2.1, §4, §6).
+
+The paper repeatedly points at "random walk algorithms" [14] as the
+non-level-wise alternative: "a given walk can stop as soon as it crosses
+the border.  It can then do a local analysis of the border near the
+crossing."  This module implements that idea for the correlation border.
+
+Each walk starts from a random supported pair and adds random items one
+at a time, staying inside the supported region (support is downward
+closed, so an unsupported set ends the walk — nothing above it can be
+significant).  The moment the walk crosses into correlated territory
+(correlation is upward closed), it has an itemset on or above the
+border; a greedy downward pass then removes items while correlation
+persists, landing on a *minimal* correlated itemset.  Upward closure
+guarantees greedy minimisation is exact: if no immediate subset is
+correlated, no subset is.
+
+Because walks sample the border rather than sweep it, the algorithm
+also supports the pruning §4 says a level-wise search cannot do:
+discarding itemsets with *very high* chi-squared values ("probably so
+obvious as to be uninteresting"), a criterion that is not downward
+closed.  Anti-support pruning (not usable with chi-squared) is likewise
+accepted here when paired with a plain frequency walk, but refused with
+the chi-squared statistic, mirroring §4.
+
+Section 6 notes the walk "has a natural implementation in terms of a
+datacube of the count values for contingency tables"; pass a
+:class:`~repro.data.datacube.CountDatacube` as ``cube`` and every
+table along a walk becomes a roll-up with no database access.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.border import Border
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import CorrelationTest
+from repro.core.itemsets import Itemset
+from repro.core.rules import CorrelationRule
+from repro.data.basket import BasketDatabase
+from repro.measures.cellsupport import CellSupport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.datacube import CountDatacube
+
+__all__ = ["RandomWalkResult", "RandomWalkMiner"]
+
+
+@dataclass(slots=True)
+class RandomWalkResult:
+    """Minimal correlated itemsets found by sampling walks.
+
+    Unlike the level-wise miner, coverage is probabilistic: ``border``
+    contains the minimal correlated itemsets *discovered*, a subset of
+    the true border that grows with ``n_walks``.
+    """
+
+    rules: list[CorrelationRule]
+    border: Border
+    walks: int
+    crossings: int
+    dead_ends: int
+
+
+class RandomWalkMiner:
+    """Monte-Carlo border search for significant itemsets.
+
+    Attributes:
+        test: the correlation test defining the border.
+        support: cell-based support confining the walkable region.
+        n_walks: number of independent walks.
+        max_steps: per-walk cap on upward steps.
+        max_statistic: optional ceiling — crossings with a chi-squared
+            value above it are dropped as "so obvious as to be
+            uninteresting" (§4).
+        seed: RNG seed; walks are deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        test: CorrelationTest | None = None,
+        support: CellSupport | None = None,
+        n_walks: int = 200,
+        max_steps: int = 10,
+        max_statistic: float | None = None,
+        seed: int = 0,
+        cube: "CountDatacube | None" = None,
+    ) -> None:
+        if n_walks < 1:
+            raise ValueError(f"n_walks must be >= 1, got {n_walks}")
+        if max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+        self.test = test if test is not None else CorrelationTest()
+        self.support = support if support is not None else CellSupport(count=1, fraction=0.26)
+        self.n_walks = n_walks
+        self.max_steps = max_steps
+        self.max_statistic = max_statistic
+        self.seed = seed
+        self.cube = cube
+
+    def _table(self, db: BasketDatabase, itemset: Itemset) -> ContingencyTable:
+        if self.cube is not None:
+            return self.cube.table_for(itemset)
+        return ContingencyTable.from_database(db, itemset)
+
+    def _minimise(self, db: BasketDatabase, itemset: Itemset) -> Itemset:
+        """Greedy downward pass: drop items while correlation persists."""
+        current = itemset
+        improved = True
+        while improved and len(current) > 2:
+            improved = False
+            for subset in current.immediate_subsets():
+                if self.test.is_correlated(self._table(db, subset)):
+                    current = subset
+                    improved = True
+                    break
+        return current
+
+    def mine(self, db: BasketDatabase) -> RandomWalkResult:
+        """Run ``n_walks`` walks and return the sampled border."""
+        if db.n_baskets == 0:
+            raise ValueError("cannot mine an empty database")
+        rng = random.Random(self.seed)
+        if self.cube is not None:
+            # Cube-backed walks stay inside the cube's dimensions.
+            universe = list(self.cube.dimensions)
+        else:
+            universe = list(db.vocabulary.ids())
+        if len(universe) < 2:
+            raise ValueError("need at least two items to walk")
+
+        border = Border()
+        rules: dict[Itemset, CorrelationRule] = {}
+        crossings = 0
+        dead_ends = 0
+
+        for _ in range(self.n_walks):
+            a, b = rng.sample(universe, 2)
+            current = Itemset((a, b))
+            for _ in range(self.max_steps):
+                table = self._table(db, current)
+                if not self.support(table):
+                    dead_ends += 1
+                    break
+                if self.test.is_correlated(table):
+                    crossings += 1
+                    minimal = self._minimise(db, current)
+                    minimal_table = self._table(db, minimal)
+                    result = self.test(minimal_table)
+                    if (
+                        self.max_statistic is not None
+                        and result.statistic > self.max_statistic
+                    ):
+                        break
+                    if self.support(minimal_table) and minimal not in rules:
+                        rules[minimal] = CorrelationRule(
+                            itemset=minimal,
+                            result=result,
+                            table=minimal_table,
+                            minimal=True,
+                        )
+                        border.add(minimal)
+                    break
+                remaining = [item for item in universe if item not in current]
+                if not remaining:
+                    dead_ends += 1
+                    break
+                current = current.add(rng.choice(remaining))
+            else:
+                dead_ends += 1
+
+        ordered = [rules[itemset] for itemset in sorted(rules)]
+        return RandomWalkResult(
+            rules=ordered,
+            border=border,
+            walks=self.n_walks,
+            crossings=crossings,
+            dead_ends=dead_ends,
+        )

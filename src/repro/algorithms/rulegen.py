@@ -1,0 +1,75 @@
+"""Association-rule generation from frequent itemsets.
+
+The second half of the support-confidence framework (§2.1: "first
+finding supported itemsets, and then discovering rules in those itemsets
+that have large confidence").  Because confidence has *no* closure
+property (Example 2), this step is a post-processing pass over the
+frequent sets — exactly the structural weakness the paper's border-based
+pruning avoids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.algorithms.apriori import AprioriResult
+from repro.core.itemsets import Itemset
+from repro.core.rules import AssociationRule
+
+__all__ = ["generate_rules", "rules_for_itemset"]
+
+
+def rules_for_itemset(
+    result: AprioriResult,
+    itemset: Itemset,
+    min_confidence: float,
+) -> Iterator[AssociationRule]:
+    """All confident rules partitioning one frequent itemset.
+
+    Every non-empty proper subset A of the itemset defines a rule
+    ``A => S \\ A`` with confidence ``supp(S) / supp(A)``.  The subset
+    supports are available in the Apriori result by downward closure.
+    """
+    if itemset not in result.counts:
+        raise KeyError(f"{itemset!r} is not a frequent itemset in this result")
+    union_count = result.counts[itemset]
+    n = result.n_baskets
+    for antecedent in itemset.subsets():
+        if len(antecedent) == 0 or len(antecedent) == len(itemset):
+            continue
+        antecedent_count = result.counts.get(antecedent)
+        if antecedent_count is None or antecedent_count == 0:
+            # Cannot happen for true Apriori output (downward closure),
+            # but guard against hand-built results.
+            continue
+        confidence = union_count / antecedent_count
+        if confidence >= min_confidence:
+            consequent = itemset - antecedent
+            consequent_count = result.counts.get(consequent)
+            lift = (
+                (union_count / n) / ((antecedent_count / n) * (consequent_count / n))
+                if consequent_count
+                else float("nan")
+            )
+            yield AssociationRule(
+                antecedent=antecedent,
+                consequent=consequent,
+                support=union_count / n,
+                confidence=confidence,
+                lift=lift,
+            )
+
+
+def generate_rules(
+    result: AprioriResult,
+    min_confidence: float,
+) -> list[AssociationRule]:
+    """All confident rules from every frequent itemset of size >= 2."""
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    rules: list[AssociationRule] = []
+    for itemset in result.itemsets():
+        if len(itemset) < 2:
+            continue
+        rules.extend(rules_for_itemset(result, itemset, min_confidence))
+    return rules

@@ -1,0 +1,146 @@
+"""Toivonen's sampling algorithm for frequent itemsets [29].
+
+The paper's related work leans on Toivonen (VLDB'96): mine a random
+sample of the database at a *lowered* support threshold, then verify the
+sample's frequent itemsets — together with their **negative border** —
+against the full database in a single pass.  If no negative-border
+itemset turns out to be globally frequent, the result is provably
+complete; otherwise the misses are reported so the caller can rerun
+with a larger sample (the original paper's fallback).
+
+The negative border is the set of minimal itemsets *not* frequent in
+the sample — every itemset whose proper subsets are all sample-frequent
+but which is not itself.  Any globally-frequent itemset missed by the
+sample must have an ancestor in the negative border, which is what makes
+checking it sufficient.
+
+This complements the other baselines (Apriori, PCY) and exercises the
+same downward-closure machinery the chi2-support miner builds on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.algorithms.apriori import apriori
+from repro.core.itemsets import Itemset
+from repro.core.lattice import apriori_join
+from repro.data.basket import BasketDatabase
+
+__all__ = ["SamplingResult", "toivonen_sample_mine", "negative_border"]
+
+
+def negative_border(
+    frequent: set[Itemset], n_items: int, max_size: int | None = None
+) -> set[Itemset]:
+    """Minimal itemsets not in ``frequent`` (all proper subsets are).
+
+    Singletons outside ``frequent`` are in the border by definition
+    (their only proper subset, the empty set, is trivially frequent).
+    """
+    border: set[Itemset] = set()
+    for item in range(n_items):
+        singleton = Itemset([item])
+        if singleton not in frequent:
+            border.add(singleton)
+
+    by_size: dict[int, list[Itemset]] = {}
+    for itemset in frequent:
+        by_size.setdefault(len(itemset), []).append(itemset)
+
+    top = max(by_size) if by_size else 0
+    if max_size is not None:
+        top = min(top, max_size - 1)
+    for size in range(1, top + 1):
+        level = by_size.get(size, [])
+        for candidate in apriori_join(level):
+            if candidate in frequent:
+                continue
+            if all(subset in frequent for subset in candidate.immediate_subsets()):
+                border.add(candidate)
+    return border
+
+
+@dataclass(slots=True)
+class SamplingResult:
+    """Output of one sampling round.
+
+    ``frequent`` holds the itemsets verified frequent on the FULL
+    database with their exact counts.  ``misses`` are negative-border
+    itemsets that turned out to be globally frequent: when non-empty the
+    result may be incomplete and the caller should enlarge the sample.
+    """
+
+    frequent: dict[Itemset, int]
+    misses: list[Itemset]
+    sample_size: int
+    sample_threshold: float
+    candidates_verified: int
+
+    @property
+    def complete(self) -> bool:
+        """True when the sampling guarantee held (no misses)."""
+        return not self.misses
+
+
+def toivonen_sample_mine(
+    db: BasketDatabase,
+    min_support: float,
+    sample_fraction: float = 0.2,
+    lowering: float = 0.8,
+    max_size: int | None = None,
+    seed: int = 0,
+) -> SamplingResult:
+    """One round of Toivonen's algorithm.
+
+    Args:
+        db: the full database.
+        min_support: the target (relative) support threshold.
+        sample_fraction: fraction of baskets drawn (with replacement,
+            as in the original analysis).
+        lowering: the sample threshold is ``lowering * min_support`` —
+            below 1 to reduce the probability of misses.
+        max_size: optional cap on itemset size.
+        seed: sampling RNG seed (deterministic results).
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError(f"sample_fraction must be in (0, 1], got {sample_fraction}")
+    if not 0.0 < lowering <= 1.0:
+        raise ValueError(f"lowering must be in (0, 1], got {lowering}")
+    if db.n_baskets == 0:
+        raise ValueError("cannot mine an empty database")
+
+    rng = random.Random(seed)
+    sample_size = max(1, round(sample_fraction * db.n_baskets))
+    indices = [rng.randrange(db.n_baskets) for _ in range(sample_size)]
+    sample = db.sample(indices)
+
+    sample_threshold = lowering * min_support
+    sample_result = apriori(sample, min_support=sample_threshold, max_size=max_size)
+    sample_frequent = set(sample_result.counts)
+
+    # Verify sample-frequent itemsets plus the negative border on the
+    # full database; one "pass" = exact bitmap counts per candidate.
+    border = negative_border(sample_frequent, db.n_items, max_size=max_size)
+    candidates = sample_frequent | border
+    threshold_count = min_support * db.n_baskets
+
+    frequent: dict[Itemset, int] = {}
+    misses: list[Itemset] = []
+    for candidate in sorted(candidates):
+        count = db.support_count(candidate)
+        if count >= threshold_count:
+            frequent[candidate] = count
+            if candidate in border:
+                misses.append(candidate)
+
+    return SamplingResult(
+        frequent=frequent,
+        misses=sorted(misses),
+        sample_size=sample_size,
+        sample_threshold=sample_threshold,
+        candidates_verified=len(candidates),
+    )

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows the paper's experiments chain
+together:
+
+* ``mine`` — run the chi2-support miner (Figure 1) over a basket file
+  and print the significant itemsets with their evidence;
+* ``apriori`` — run the support-confidence baseline and print the
+  accepted association rules;
+* ``generate`` — materialise one of the paper's datasets (census /
+  quest / corpus) into a basket file;
+* ``describe`` — print summary statistics of a basket file.
+
+Basket files are the plain-text formats of :mod:`repro.data.io`: one
+basket per line, whitespace-separated item names (default) or integer
+ids (``--numeric``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.algorithms.apriori import apriori
+from repro.algorithms.chi2support import ChiSquaredSupportMiner
+from repro.algorithms.rulegen import generate_rules
+from repro.data.basket import BasketDatabase
+from repro.data.io import (
+    read_named_baskets,
+    read_numeric_baskets,
+    write_named_baskets,
+    write_numeric_baskets,
+)
+from repro.measures.cellsupport import CellSupport
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(path: str, numeric: bool) -> BasketDatabase:
+    if numeric:
+        return read_numeric_baskets(path)
+    return read_named_baskets(path)
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", required=True, help="basket file to read")
+    parser.add_argument(
+        "--numeric",
+        action="store_true",
+        help="baskets contain integer item ids rather than names",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Correlation rule mining (Brin, Motwani & Silverstein, SIGMOD 1997)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine significant correlated itemsets")
+    _add_input_arguments(mine)
+    mine.add_argument("--significance", type=float, default=0.95)
+    mine.add_argument("--support-count", type=float, default=1.0, help="cell count threshold s")
+    mine.add_argument("--support-fraction", type=float, default=0.26, help="cell fraction p")
+    mine.add_argument("--max-level", type=int, default=None)
+    mine.add_argument("--statistic", choices=["chi2", "g"], default="chi2")
+    mine.add_argument("--limit", type=int, default=50, help="print at most this many rules")
+    mine.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON instead of text"
+    )
+
+    baseline = commands.add_parser("apriori", help="support-confidence baseline")
+    _add_input_arguments(baseline)
+    baseline.add_argument("--min-support", type=float, default=0.01)
+    baseline.add_argument("--min-confidence", type=float, default=0.5)
+    baseline.add_argument("--max-size", type=int, default=None)
+    baseline.add_argument("--limit", type=int, default=50)
+
+    generate = commands.add_parser("generate", help="materialise a paper dataset")
+    generate.add_argument("dataset", choices=["census", "quest", "corpus"])
+    generate.add_argument("--output", required=True)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--baskets", type=int, default=None, help="quest: transactions")
+    generate.add_argument("--items", type=int, default=None, help="quest: item count")
+
+    describe = commands.add_parser("describe", help="summary statistics of a basket file")
+    _add_input_arguments(describe)
+
+    negative = commands.add_parser(
+        "negative", help="mine negative implications (common items that avoid each other)"
+    )
+    _add_input_arguments(negative)
+    negative.add_argument("--min-item-count", type=int, required=True)
+    negative.add_argument("--max-cooccurrence", type=int, required=True)
+    negative.add_argument("--significance", type=float, default=0.95)
+    negative.add_argument("--limit", type=int, default=50)
+
+    return parser
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    db = _load(args.input, args.numeric)
+    miner = ChiSquaredSupportMiner(
+        significance=args.significance,
+        support=CellSupport(count=args.support_count, fraction=args.support_fraction),
+        max_level=args.max_level,
+        statistic=args.statistic,
+    )
+    result = miner.mine(db)
+    if args.json:
+        import json
+
+        from repro.core.report import mining_result_to_dict
+
+        print(json.dumps(mining_result_to_dict(result, db.vocabulary), indent=2))
+        return 0
+
+    from repro.core.report import render_level_stats, render_rules
+
+    print(
+        f"# {db.n_baskets} baskets, {db.n_items} items; "
+        f"significance {args.significance}, support s={args.support_count} p={args.support_fraction}"
+    )
+    print(render_level_stats(result.level_stats))
+    ranked = sorted(result.rules, key=lambda r: -r.statistic)
+    print(render_rules(ranked, db.vocabulary, limit=args.limit))
+    return 0
+
+
+def _command_apriori(args: argparse.Namespace) -> int:
+    db = _load(args.input, args.numeric)
+    result = apriori(db, min_support=args.min_support, max_size=args.max_size)
+    rules = generate_rules(result, min_confidence=args.min_confidence)
+    print(
+        f"# {db.n_baskets} baskets, {db.n_items} items; "
+        f"{len(result)} frequent itemsets at support >= {args.min_support}"
+    )
+    shown = sorted(rules, key=lambda r: -r.confidence)[: args.limit]
+    for rule in shown:
+        print(rule.describe(db.vocabulary))
+    remaining = len(rules) - len(shown)
+    if remaining > 0:
+        print(f"# ... and {remaining} more (raise --limit to see them)")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "census":
+        from repro.data.census import synthesize_census
+
+        db = synthesize_census()
+        write_named_baskets(db, args.output)
+    elif args.dataset == "quest":
+        from repro.data.quest import QuestParameters, generate_quest
+
+        overrides: dict[str, object] = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.baskets is not None:
+            overrides["n_transactions"] = args.baskets
+        if args.items is not None:
+            overrides["n_items"] = args.items
+        db = generate_quest(QuestParameters(**overrides))  # type: ignore[arg-type]
+        write_numeric_baskets(db, args.output)
+    else:
+        from repro.data.corpusgen import NewsCorpusParameters, generate_news_corpus
+        from repro.data.text import TextPipeline
+
+        params = (
+            NewsCorpusParameters(seed=args.seed)
+            if args.seed is not None
+            else NewsCorpusParameters()
+        )
+        db = TextPipeline().run(generate_news_corpus(params))
+        write_named_baskets(db, args.output)
+    print(f"wrote {db.n_baskets} baskets over {db.n_items} items to {args.output}")
+    return 0
+
+
+def _command_describe(args: argparse.Namespace) -> int:
+    db = _load(args.input, args.numeric)
+    sizes = sorted(len(basket) for basket in db)
+    average = sum(sizes) / len(sizes) if sizes else 0.0
+    median = sizes[len(sizes) // 2] if sizes else 0
+    print(f"baskets: {db.n_baskets}")
+    print(f"items:   {db.n_items}")
+    print(f"basket size: avg {average:.2f}, median {median}, max {sizes[-1] if sizes else 0}")
+    counts = db.item_counts()
+    top = sorted(db.vocabulary.ids(), key=lambda i: -counts[i])[:10]
+    print("most frequent items:")
+    for item in top:
+        print(f"  {db.vocabulary.name_of(item)}: {counts[item]}")
+    return 0
+
+
+def _command_negative(args: argparse.Namespace) -> int:
+    from repro.algorithms.negative import mine_negative_implications
+
+    db = _load(args.input, args.numeric)
+    results = mine_negative_implications(
+        db,
+        min_item_count=args.min_item_count,
+        max_cooccurrence=args.max_cooccurrence,
+        significance=args.significance,
+    )
+    print(f"# {len(results)} negative implications at significance {args.significance}")
+    for implication in results[: args.limit]:
+        print(implication.describe(db.vocabulary))
+    remaining = len(results) - args.limit
+    if remaining > 0:
+        print(f"# ... and {remaining} more (raise --limit to see them)")
+    return 0
+
+
+_COMMANDS = {
+    "mine": _command_mine,
+    "apriori": _command_apriori,
+    "generate": _command_generate,
+    "describe": _command_describe,
+    "negative": _command_negative,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

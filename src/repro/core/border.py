@@ -1,0 +1,148 @@
+"""The border of correlation (paper §2.2).
+
+Because chi-squared significance is upward closed, the correlated
+region of the itemset lattice is fully described by its *minimal*
+elements: "we can list a set of itemsets such that every itemset above
+(and including) the set in the item lattice possesses the property,
+while every itemset below it does not."  :class:`Border` is that list —
+an antichain of itemsets — with the queries a consumer of mining output
+needs: is an itemset above/below the border, and is the antichain
+well-formed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.itemsets import Itemset
+
+__all__ = ["Border"]
+
+
+class Border:
+    """An antichain of minimal itemsets representing an upward-closed set.
+
+    Construction enforces minimality: adding an itemset that is a
+    superset of a present element is a no-op, and adding a subset of
+    present elements evicts them.  The result is the canonical border
+    regardless of insertion order.
+    """
+
+    __slots__ = ("_elements", "_by_item")
+
+    def __init__(self, elements: Iterable[Itemset] = ()) -> None:
+        self._elements: set[Itemset] = set()
+        # Inverted index item -> border elements containing it; makes
+        # the dominance checks touch only related elements.
+        self._by_item: dict[int, set[Itemset]] = {}
+        for element in elements:
+            self.add(element)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(sorted(self._elements))
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self._elements
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Border):
+            return self._elements == other._elements
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - borders are not dict keys
+        return hash(frozenset(self._elements))
+
+    def __repr__(self) -> str:
+        return f"Border({sorted(self._elements)!r})"
+
+    def _candidates_related_to(self, itemset: Itemset) -> set[Itemset]:
+        related: set[Itemset] = set()
+        for item in itemset:
+            related |= self._by_item.get(item, set())
+        return related
+
+    def add(self, itemset: Itemset) -> bool:
+        """Insert ``itemset``, maintaining the antichain invariant.
+
+        Returns True when the border changed.  A superset of an existing
+        element is ignored; subsets of ``itemset`` already present cause
+        it to be ignored too (they dominate it); existing elements that
+        are supersets of ``itemset`` are evicted.
+        """
+        if len(itemset) == 0:
+            raise ValueError("the empty itemset cannot be a border element")
+        if itemset in self._elements:
+            return False
+        related = self._candidates_related_to(itemset)
+        for element in related:
+            if element.issubset(itemset):
+                return False
+        evicted = [element for element in related if itemset.issubset(element)]
+        for element in evicted:
+            self._remove(element)
+        self._elements.add(itemset)
+        for item in itemset:
+            self._by_item.setdefault(item, set()).add(itemset)
+        return True
+
+    def add_minimal(self, itemset: Itemset) -> None:
+        """Insert an itemset the caller guarantees is antichain-safe.
+
+        The level-wise miner only ever produces minimal correlated
+        itemsets (a candidate's every subset sat in NOTSIG, so no border
+        element is below it, and supersets of border elements are never
+        generated), making the dominance scan of :meth:`add` pure
+        overhead — quadratic once the border holds tens of thousands of
+        elements, as on text corpora.  :meth:`validate` still checks the
+        invariant after the fact; tests rely on that.
+        """
+        if len(itemset) == 0:
+            raise ValueError("the empty itemset cannot be a border element")
+        if itemset in self._elements:
+            return
+        self._elements.add(itemset)
+        for item in itemset:
+            self._by_item.setdefault(item, set()).add(itemset)
+
+    def _remove(self, itemset: Itemset) -> None:
+        self._elements.discard(itemset)
+        for item in itemset:
+            bucket = self._by_item.get(item)
+            if bucket is not None:
+                bucket.discard(itemset)
+
+    def covers(self, itemset: Itemset) -> bool:
+        """True when ``itemset`` is on or above the border.
+
+        Equivalently: the upward-closed property holds for ``itemset``.
+        """
+        for element in self._candidates_related_to(itemset):
+            if element.issubset(itemset):
+                return True
+        return False
+
+    def is_minimal(self, itemset: Itemset) -> bool:
+        """True when ``itemset`` is itself a border element."""
+        return itemset in self._elements
+
+    def elements(self) -> list[Itemset]:
+        """The border elements, sorted (by size, then lexicographically)."""
+        return sorted(self._elements)
+
+    def levels(self) -> dict[int, list[Itemset]]:
+        """Border elements grouped by itemset size."""
+        grouped: dict[int, list[Itemset]] = {}
+        for element in sorted(self._elements):
+            grouped.setdefault(len(element), []).append(element)
+        return grouped
+
+    def validate(self) -> None:
+        """Assert the antichain invariant; raises ValueError when broken."""
+        elements = sorted(self._elements)
+        for i, a in enumerate(elements):
+            for b in elements[i + 1:]:
+                if a.issubset(b) or b.issubset(a):
+                    raise ValueError(f"border is not an antichain: {a!r} vs {b!r}")

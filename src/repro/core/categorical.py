@@ -1,0 +1,168 @@
+"""Multi-valued (categorical) contingency tables — the §5.1 extension.
+
+The paper collapses every census question to binary but notes what is
+lost: "Because we have collapsed the answers 'does not drive' and
+'carpools,' we cannot answer this question.  A non-collapsed chi-squared
+table, with more than two rows and columns, could find finer-grained
+dependency.  Support-confidence cannot easily handle multiple item
+values."  Appendix A already supplies the theory — the statistic is the
+same sum over cells, with ``(u1 - 1)(u2 - 1)...(uk - 1)`` degrees of
+freedom.
+
+:class:`CategoricalTable` implements that general case: k variables,
+variable ``j`` taking ``u_j`` values, built from records (tuples of
+category indices).  The chi-squared test then uses
+:func:`repro.stats.chi2.ppf` at the multinomial degrees of freedom, and
+per-cell interest carries over unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.stats import chi2 as chi2_dist
+from repro.stats.chi2 import degrees_of_freedom
+
+__all__ = ["CategoricalTable", "CategoricalResult", "categorical_chi_squared_test"]
+
+
+class CategoricalTable:
+    """A sparse k-dimensional contingency table over categorical variables.
+
+    Cells are addressed by tuples of category indices, one per variable.
+    Expected values come from the independence model on the observed
+    marginals, exactly as in the binary case.
+    """
+
+    __slots__ = ("_cardinalities", "_counts", "_n", "_marginals")
+
+    def __init__(self, cardinalities: Sequence[int]) -> None:
+        if not cardinalities:
+            raise ValueError("need at least one variable")
+        for u in cardinalities:
+            if u < 2:
+                raise ValueError(f"each variable needs at least 2 categories, got {u}")
+        self._cardinalities = tuple(cardinalities)
+        self._counts: dict[tuple[int, ...], float] = {}
+        self._n = 0.0
+        self._marginals = [
+            [0.0] * u for u in self._cardinalities
+        ]  # per variable, per category
+
+    @classmethod
+    def from_records(
+        cls, cardinalities: Sequence[int], records: Iterable[Sequence[int]]
+    ) -> "CategoricalTable":
+        """Count a stream of records (one category index per variable)."""
+        table = cls(cardinalities)
+        for record in records:
+            table.add(record)
+        return table
+
+    def add(self, record: Sequence[int], count: float = 1.0) -> None:
+        """Add ``count`` observations of ``record``."""
+        key = tuple(record)
+        if len(key) != len(self._cardinalities):
+            raise ValueError(
+                f"record has {len(key)} values for {len(self._cardinalities)} variables"
+            )
+        for value, cardinality in zip(key, self._cardinalities):
+            if not 0 <= value < cardinality:
+                raise ValueError(f"category {value} out of range (0..{cardinality - 1})")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._counts[key] = self._counts.get(key, 0.0) + count
+        self._n += count
+        for j, value in enumerate(key):
+            self._marginals[j][value] += count
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def cardinalities(self) -> tuple[int, ...]:
+        """Number of categories per variable."""
+        return self._cardinalities
+
+    @property
+    def n(self) -> float:
+        """Total observations."""
+        return self._n
+
+    @property
+    def n_cells(self) -> int:
+        """Total cells, prod(u_j)."""
+        return math.prod(self._cardinalities)
+
+    @property
+    def df(self) -> int:
+        """Degrees of freedom, (u1-1)(u2-1)...(uk-1) (Appendix A)."""
+        return degrees_of_freedom(self._cardinalities)
+
+    # -- observed / expected ----------------------------------------------------
+
+    def observed(self, cell: Sequence[int]) -> float:
+        """O(r) for a cell tuple."""
+        return self._counts.get(tuple(cell), 0.0)
+
+    def expected(self, cell: Sequence[int]) -> float:
+        """E[r] under independence of the k variables."""
+        if self._n == 0:
+            raise ValueError("empty table")
+        value = self._n
+        for j, category in enumerate(cell):
+            value *= self._marginals[j][category] / self._n
+        return value
+
+    def interest(self, cell: Sequence[int]) -> float:
+        """I(r) = O(r)/E[r], as in the binary case (§3.1)."""
+        expected = self.expected(cell)
+        if expected == 0.0:
+            return math.nan if self.observed(cell) == 0 else math.inf
+        return self.observed(cell) / expected
+
+    def occupied_cells(self) -> list[tuple[int, ...]]:
+        """Cells with non-zero observed count, sorted."""
+        return sorted(self._counts)
+
+    def chi_squared(self) -> float:
+        """The statistic via the sparse rearrangement (only occupied cells)."""
+        if self._n == 0:
+            raise ValueError("empty table")
+        total = 0.0
+        for cell, observed in self._counts.items():
+            expected = self.expected(cell)
+            if expected == 0.0:
+                raise ZeroDivisionError("observed count in a zero-expectation cell")
+            total += observed * (observed - 2.0 * expected) / expected
+        return max(total + self._n, 0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class CategoricalResult:
+    """Outcome of the multinomial chi-squared test."""
+
+    statistic: float
+    df: int
+    cutoff: float
+    correlated: bool
+    p_value: float
+
+
+def categorical_chi_squared_test(
+    table: CategoricalTable, significance: float = 0.95
+) -> CategoricalResult:
+    """Run the chi-squared independence test at the table's true dof."""
+    if not 0.0 < significance < 1.0:
+        raise ValueError(f"significance must be in (0, 1), got {significance}")
+    statistic = table.chi_squared()
+    df = table.df
+    cutoff = chi2_dist.ppf(significance, df)
+    return CategoricalResult(
+        statistic=statistic,
+        df=df,
+        cutoff=cutoff,
+        correlated=statistic >= cutoff,
+        p_value=chi2_dist.sf(statistic, df),
+    )

@@ -1,0 +1,105 @@
+"""The interest measure (paper §3.1).
+
+Dependence of a single contingency-table cell ``r`` is measured by
+
+    I(r) = O(r) / E[r],
+
+the ratio of observed to expected count.  Values above 1 indicate
+positive dependence (the pattern occurs more often than independence
+predicts), values below 1 negative dependence, and 0 an impossible
+combination.  The cell with the most *extreme* interest — the one
+maximising ``|I(r) - 1| * sqrt(E[r])`` — is exactly the cell
+contributing most to the chi-squared value, so interest localises a
+significant correlation to the pattern that drives it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.contingency import ContingencyTable
+
+__all__ = ["CellInterest", "interest", "interest_table", "most_extreme_cell"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellInterest:
+    """Interest and chi-squared contribution of one cell."""
+
+    cell: int
+    pattern: tuple[bool, ...]
+    observed: float
+    expected: float
+    interest: float
+    chi2_contribution: float
+
+    @property
+    def direction(self) -> str:
+        """``positive`` / ``negative`` / ``independent`` dependence."""
+        if math.isclose(self.interest, 1.0, rel_tol=1e-12, abs_tol=1e-12):
+            return "independent"
+        return "positive" if self.interest > 1.0 else "negative"
+
+    @property
+    def extremeness(self) -> float:
+        """|I(r) - 1| * sqrt(E[r]) — the square root of the cell's chi-squared contribution."""
+        return abs(self.interest - 1.0) * math.sqrt(self.expected)
+
+
+def interest(table: ContingencyTable, cell: int) -> float:
+    """I(r) = O(r)/E[r] for one cell.
+
+    A cell with zero expectation and zero observation has undefined
+    interest; we return ``nan`` for it rather than raising, since such
+    structural zeros legitimately occur for degenerate marginals.
+    """
+    observed = table.observed(cell)
+    expected = table.expected(cell)
+    if expected == 0.0:
+        return math.nan if observed == 0 else math.inf
+    return observed / expected
+
+
+def interest_table(table: ContingencyTable) -> list[CellInterest]:
+    """Interest of every cell, in cell-index order.
+
+    Includes unoccupied cells — an interest of 0 ("impossible event") is
+    one of the paper's most telling outputs, e.g. *veteran and more than
+    3 children borne* in the census data.
+    """
+    results: list[CellInterest] = []
+    for cell in table.cells():
+        observed = table.observed(cell)
+        expected = table.expected(cell)
+        if expected == 0.0:
+            value = math.nan if observed == 0 else math.inf
+            contribution = math.nan if observed == 0 else math.inf
+        else:
+            value = observed / expected
+            deviation = observed - expected
+            contribution = deviation * deviation / expected
+        results.append(
+            CellInterest(
+                cell=cell,
+                pattern=table.cell_pattern(cell),
+                observed=observed,
+                expected=expected,
+                interest=value,
+                chi2_contribution=contribution,
+            )
+        )
+    return results
+
+
+def most_extreme_cell(table: ContingencyTable) -> CellInterest:
+    """The cell with the largest chi-squared contribution.
+
+    By the identity in §3.1 this is also the cell whose interest is
+    farthest from 1 once scaled by sqrt(E[r]); the paper reads it as the
+    "major dependence" of a correlated itemset (Table 4).
+    """
+    cells = [c for c in interest_table(table) if not math.isnan(c.chi2_contribution)]
+    if not cells:
+        raise ValueError("table has no cell with defined interest")
+    return max(cells, key=lambda c: c.chi2_contribution)

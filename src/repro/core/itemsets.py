@@ -1,0 +1,258 @@
+"""Itemsets and item vocabularies.
+
+Items are represented internally as small non-negative integers (indices
+into an :class:`ItemVocabulary`), which keeps itemsets compact and makes
+contingency-table indexing a matter of bit arithmetic.  An
+:class:`Itemset` is an immutable, hashable, canonically-ordered set of
+item ids; it behaves like a sorted tuple for iteration and like a set for
+algebra.
+
+These are the atoms every other module builds on: baskets are sets of
+items, contingency tables are indexed by presence/absence patterns of an
+itemset, and the miners walk the lattice of itemsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import combinations
+
+__all__ = ["Itemset", "ItemVocabulary", "empty_itemset"]
+
+
+class Itemset:
+    """An immutable set of item ids with a canonical (sorted) order.
+
+    Supports the small algebra the mining algorithms need: union,
+    difference, subset tests, and enumeration of sub- and supersets.
+    Instances are hashable and totally ordered (lexicographically on the
+    sorted item tuple), so they can key dicts and be sorted for stable
+    output.
+
+    >>> a = Itemset([3, 1])
+    >>> b = Itemset([1])
+    >>> b.issubset(a)
+    True
+    >>> list(a)
+    [1, 3]
+    >>> a | Itemset([7])
+    Itemset(1, 3, 7)
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[int] = ()) -> None:
+        items = tuple(sorted(set(items)))
+        for item in items:
+            if not isinstance(item, int) or isinstance(item, bool):
+                raise TypeError(f"item ids must be ints, got {item!r}")
+            if item < 0:
+                raise ValueError(f"item ids must be non-negative, got {item}")
+        self._items: tuple[int, ...] = items
+        self._hash = hash(items)
+
+    @classmethod
+    def _from_sorted(cls, items: tuple[int, ...]) -> "Itemset":
+        """Internal fast constructor for already-sorted, validated tuples.
+
+        The level-wise miners create millions of itemsets whose inputs
+        are derived from existing (validated) itemsets; skipping the
+        sort/validation there is a large constant-factor win.
+        """
+        itemset = object.__new__(cls)
+        itemset._items = items
+        itemset._hash = hash(items)
+        return itemset
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The item ids in ascending order."""
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __getitem__(self, index: int) -> int:
+        return self._items[index]
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Itemset):
+            return self._items == other._items
+        return NotImplemented
+
+    def __lt__(self, other: "Itemset") -> bool:
+        if not isinstance(other, Itemset):
+            return NotImplemented
+        # Order primarily by size so that sorted output lists lattice
+        # levels in order, then lexicographically for determinism.
+        return (len(self._items), self._items) < (len(other._items), other._items)
+
+    def __le__(self, other: "Itemset") -> bool:
+        return self == other or self < other
+
+    def __repr__(self) -> str:
+        return f"Itemset({', '.join(map(str, self._items))})"
+
+    # -- set algebra ----------------------------------------------------------
+
+    def union(self, other: Iterable[int]) -> "Itemset":
+        """Return the union of this itemset with ``other``."""
+        return Itemset(self._items + tuple(other))
+
+    __or__ = union
+
+    def difference(self, other: Iterable[int]) -> "Itemset":
+        """Return the items of ``self`` not present in ``other``."""
+        removed = set(other)
+        return Itemset(item for item in self._items if item not in removed)
+
+    __sub__ = difference
+
+    def intersection(self, other: Iterable[int]) -> "Itemset":
+        """Return the items common to ``self`` and ``other``."""
+        kept = set(other)
+        return Itemset(item for item in self._items if item in kept)
+
+    __and__ = intersection
+
+    def add(self, item: int) -> "Itemset":
+        """Return a new itemset with ``item`` added."""
+        return Itemset(self._items + (item,))
+
+    def remove(self, item: int) -> "Itemset":
+        """Return a new itemset with ``item`` removed.
+
+        Raises :class:`KeyError` if ``item`` is not present.
+        """
+        if item not in self._items:
+            raise KeyError(item)
+        return Itemset(i for i in self._items if i != item)
+
+    def issubset(self, other: "Itemset | Iterable[int]") -> bool:
+        """True when every item of ``self`` is in ``other``."""
+        if isinstance(other, Itemset):
+            other_items: frozenset[int] | tuple[int, ...] = other._items
+            return set(self._items).issubset(other_items)
+        return set(self._items).issubset(other)
+
+    def issuperset(self, other: "Itemset | Iterable[int]") -> bool:
+        """True when every item of ``other`` is in ``self``."""
+        if isinstance(other, Itemset):
+            return set(other._items).issubset(self._items)
+        return set(other).issubset(self._items)
+
+    # -- lattice neighbourhood --------------------------------------------
+
+    def subsets(self, size: int | None = None) -> Iterator["Itemset"]:
+        """Yield proper subsets, optionally restricted to a given size.
+
+        Without ``size``, yields every proper subset including the empty
+        itemset, in increasing-size order.
+        """
+        sizes: Sequence[int]
+        if size is None:
+            sizes = range(len(self._items))
+        else:
+            if size >= len(self._items):
+                return
+            sizes = (size,)
+        for k in sizes:
+            for combo in combinations(self._items, k):
+                yield Itemset(combo)
+
+    def immediate_subsets(self) -> Iterator["Itemset"]:
+        """Yield the ``len(self)`` subsets obtained by dropping one item."""
+        items = self._items
+        for index in range(len(items)):
+            yield Itemset._from_sorted(items[:index] + items[index + 1:])
+
+    def immediate_supersets(self, universe: Iterable[int]) -> Iterator["Itemset"]:
+        """Yield supersets obtained by adding one item from ``universe``."""
+        present = set(self._items)
+        for item in universe:
+            if item not in present:
+                yield self.add(item)
+
+
+def empty_itemset() -> Itemset:
+    """Return the empty itemset (the bottom of the lattice)."""
+    return Itemset()
+
+
+class ItemVocabulary:
+    """A bidirectional mapping between item names and dense integer ids.
+
+    The mining core works on integer item ids; user-facing data — census
+    attribute names, words of a corpus, SKU strings — is registered here
+    once and translated at the boundary.
+
+    >>> vocab = ItemVocabulary()
+    >>> vocab.add("tea")
+    0
+    >>> vocab.add("coffee")
+    1
+    >>> vocab.id_of("tea")
+    0
+    >>> vocab.name_of(1)
+    'coffee'
+    """
+
+    __slots__ = ("_name_to_id", "_names")
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._name_to_id: dict[str, int] = {}
+        self._names: list[str] = []
+        for name in names:
+            self.add(name)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._name_to_id
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent) and return its id."""
+        existing = self._name_to_id.get(name)
+        if existing is not None:
+            return existing
+        item_id = len(self._names)
+        self._name_to_id[name] = item_id
+        self._names.append(name)
+        return item_id
+
+    def id_of(self, name: str) -> int:
+        """Return the id for ``name``; raises :class:`KeyError` if absent."""
+        return self._name_to_id[name]
+
+    def name_of(self, item_id: int) -> str:
+        """Return the name for ``item_id``; raises :class:`IndexError` if absent."""
+        if item_id < 0:
+            raise IndexError(item_id)
+        return self._names[item_id]
+
+    def encode(self, names: Iterable[str]) -> Itemset:
+        """Translate item names into an :class:`Itemset` of ids."""
+        return Itemset(self.id_of(name) for name in names)
+
+    def decode(self, itemset: Iterable[int]) -> tuple[str, ...]:
+        """Translate item ids back into their names, in itemset order."""
+        return tuple(self.name_of(item) for item in sorted(set(itemset)))
+
+    def ids(self) -> range:
+        """All registered item ids as a range (ids are dense)."""
+        return range(len(self._names))

@@ -1,0 +1,134 @@
+"""The itemset lattice: levels, closure checks, brute-force search.
+
+The paper frames correlation mining as a search over the lattice of
+subsets of the item space (§2): significance is *upward closed*, support
+is *downward closed*, and the itemsets of interest form a *border*
+between the two regions.  This module provides the lattice-level
+utilities the miners and the property tests share: level enumeration,
+candidate joins, and brute-force closure verification on small
+universes (the ground truth the fast algorithms are checked against).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from itertools import combinations
+
+from repro.core.itemsets import Itemset
+
+__all__ = [
+    "level",
+    "apriori_join",
+    "all_subsets_satisfy",
+    "is_upward_closed",
+    "is_downward_closed",
+    "minimal_satisfying",
+]
+
+
+def level(universe: Iterable[int], size: int) -> Iterator[Itemset]:
+    """All itemsets of a given size over ``universe``, in sorted order."""
+    items = sorted(set(universe))
+    for combo in combinations(items, size):
+        yield Itemset(combo)
+
+
+def apriori_join(itemsets: Iterable[Itemset]) -> Iterator[Itemset]:
+    """The classic level-wise join: merge i-itemsets sharing an (i-1)-prefix.
+
+    Given the size-``i`` itemsets that passed the previous level, yields
+    every size-``i+1`` itemset whose *two generating* subsets are in the
+    input (the remaining subsets must be checked by the caller — the
+    paper does exactly this against NOTSIG).  Each candidate is yielded
+    once.
+    """
+    by_prefix: dict[tuple[int, ...], list[int]] = {}
+    sizes = set()
+    for itemset in itemsets:
+        sizes.add(len(itemset))
+        if len(sizes) > 1:
+            raise ValueError("apriori_join requires itemsets of a single size")
+        items = itemset.items
+        by_prefix.setdefault(items[:-1], []).append(items[-1])
+    for prefix, lasts in by_prefix.items():
+        lasts.sort()
+        for a, b in combinations(lasts, 2):
+            yield Itemset._from_sorted(prefix + (a, b))
+
+
+def all_subsets_satisfy(
+    itemset: Itemset,
+    members: Callable[[Itemset], bool],
+    size: int | None = None,
+) -> bool:
+    """True when every subset of the given size (default: |S|-1) passes."""
+    target = len(itemset) - 1 if size is None else size
+    return all(members(subset) for subset in itemset.subsets(target))
+
+
+def _all_itemsets(universe: Iterable[int]) -> Iterator[Itemset]:
+    items = sorted(set(universe))
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            yield Itemset(combo)
+
+
+def is_upward_closed(
+    universe: Iterable[int], predicate: Callable[[Itemset], bool]
+) -> bool:
+    """Brute-force check that ``predicate`` is upward closed.
+
+    Exponential in the universe size — intended for tests on small item
+    spaces, where it verifies Theorem 1 empirically.
+    """
+    items = sorted(set(universe))
+    for itemset in _all_itemsets(items):
+        if predicate(itemset):
+            for superset in itemset.immediate_supersets(items):
+                if not predicate(superset):
+                    return False
+    return True
+
+
+def is_downward_closed(
+    universe: Iterable[int], predicate: Callable[[Itemset], bool]
+) -> bool:
+    """Brute-force check that ``predicate`` is downward closed (small universes)."""
+    for itemset in _all_itemsets(universe):
+        if predicate(itemset) and len(itemset) > 1:
+            if not all(predicate(sub) for sub in itemset.immediate_subsets()):
+                return False
+    return True
+
+
+def minimal_satisfying(
+    universe: Iterable[int],
+    predicate: Callable[[Itemset], bool],
+    min_size: int = 1,
+    max_size: int | None = None,
+) -> list[Itemset]:
+    """Brute-force the minimal itemsets satisfying an upward-closed predicate.
+
+    The ground-truth border: an itemset is reported when it passes and
+    no proper subset of size >= ``min_size`` passes.  Exponential;
+    for tests and tiny datasets only.
+    """
+    items = sorted(set(universe))
+    top = len(items) if max_size is None else min(max_size, len(items))
+    satisfied: set[Itemset] = set()
+    minimal: list[Itemset] = []
+    for size in range(min_size, top + 1):
+        for combo in combinations(items, size):
+            itemset = Itemset(combo)
+            has_satisfied_subset = any(
+                sub in satisfied
+                for k in range(min_size, size)
+                for sub in itemset.subsets(k)
+            )
+            if has_satisfied_subset:
+                satisfied.add(itemset)
+                continue
+            if predicate(itemset):
+                satisfied.add(itemset)
+                minimal.append(itemset)
+    return sorted(minimal)

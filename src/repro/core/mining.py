@@ -1,0 +1,128 @@
+"""High-level mining API.
+
+The friendly entry points a downstream user starts with: test one
+itemset, mine a whole database, or compare the correlation framework
+against support-confidence on the same data — the comparison the paper
+runs in Examples 1 and 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import CorrelationTest
+from repro.core.itemsets import Itemset
+from repro.core.rules import AssociationRule, CorrelationRule
+from repro.data.basket import BasketDatabase
+from repro.measures.cellsupport import CellSupport
+
+if TYPE_CHECKING:  # avoid a circular import; algorithms import core
+    from repro.algorithms.chi2support import MiningResult
+
+__all__ = ["correlation_rule", "mine_correlations", "FrameworkComparison", "compare_frameworks"]
+
+
+def _resolve_itemset(db: BasketDatabase, items: Iterable[int | str]) -> Itemset:
+    resolved: list[int] = []
+    for item in items:
+        if isinstance(item, str):
+            resolved.append(db.vocabulary.id_of(item))
+        else:
+            resolved.append(item)
+    return Itemset(resolved)
+
+
+def correlation_rule(
+    db: BasketDatabase,
+    items: Iterable[int | str],
+    significance: float = 0.95,
+) -> CorrelationRule:
+    """Test one itemset for correlation and package the evidence.
+
+    ``items`` may mix item ids and names.  ``minimal`` is not checked
+    here (a single-itemset query has no subset context); the miner sets
+    it for discovered rules.
+
+    >>> db = BasketDatabase.from_baskets(
+    ...     [["tea", "coffee"]] * 20 + [["coffee"]] * 70 + [["tea"]] * 5 + [[]] * 5)
+    >>> rule = correlation_rule(db, ["tea", "coffee"])
+    >>> rule.result.correlated
+    False
+    """
+    itemset = _resolve_itemset(db, items)
+    if len(itemset) < 2:
+        raise ValueError("correlation needs at least two items")
+    table = ContingencyTable.from_database(db, itemset)
+    test = CorrelationTest(significance=significance)
+    return CorrelationRule(itemset=itemset, result=test(table), table=table, minimal=False)
+
+
+def mine_correlations(
+    db: BasketDatabase,
+    significance: float = 0.95,
+    support_count: float = 1,
+    support_fraction: float = 0.26,
+    max_level: int | None = None,
+    **kwargs: object,
+) -> "MiningResult":
+    """Mine all significant (supported, minimally correlated) itemsets.
+
+    The main entry point; see :class:`ChiSquaredSupportMiner` for the
+    advanced knobs reachable through ``kwargs``.
+    """
+    from repro.algorithms.chi2support import ChiSquaredSupportMiner
+
+    miner = ChiSquaredSupportMiner(
+        significance=significance,
+        support=CellSupport(count=support_count, fraction=support_fraction),
+        max_level=max_level,
+        **kwargs,  # type: ignore[arg-type]
+    )
+    return miner.mine(db)
+
+
+@dataclass(frozen=True, slots=True)
+class FrameworkComparison:
+    """Both frameworks' verdicts on one itemset, side by side."""
+
+    correlation: CorrelationRule
+    association_rules: tuple[AssociationRule, ...]
+
+    @property
+    def chi_squared(self) -> float:
+        """The correlation framework's statistic."""
+        return self.correlation.statistic
+
+    def accepted_association_rules(
+        self, min_support: float, min_confidence: float
+    ) -> list[AssociationRule]:
+        """The rules the support-confidence framework would report."""
+        return [rule for rule in self.association_rules if rule.passes(min_support, min_confidence)]
+
+
+def compare_frameworks(
+    db: BasketDatabase,
+    items: Iterable[int | str],
+    significance: float = 0.95,
+    min_confidence: float = 0.0,
+) -> FrameworkComparison:
+    """Run both frameworks on one itemset (the Examples 1 and 4 setup).
+
+    Association rules are generated for every antecedent/consequent
+    partition of the itemset; filter with
+    :meth:`FrameworkComparison.accepted_association_rules`.
+    """
+    from repro.algorithms.apriori import apriori
+    from repro.algorithms.rulegen import rules_for_itemset
+
+    itemset = _resolve_itemset(db, items)
+    rule = correlation_rule(db, itemset, significance=significance)
+    frequencies = apriori(db, min_support_count=1, max_size=len(itemset))
+    if itemset in frequencies:
+        association = tuple(rules_for_itemset(frequencies, itemset, min_confidence))
+    else:
+        association = ()
+    return FrameworkComparison(correlation=rule, association_rules=association)

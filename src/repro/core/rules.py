@@ -1,0 +1,121 @@
+"""Rule objects: the mining outputs users consume.
+
+A :class:`CorrelationRule` is the paper's output unit — a (minimal)
+correlated itemset together with its chi-squared evidence and the
+per-cell interest values that localise the dependence.  An
+:class:`AssociationRule` is the support-confidence baseline's output,
+kept for comparison experiments (Tables 3 vs 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import CorrelationResult
+from repro.core.interest import CellInterest, interest_table, most_extreme_cell
+from repro.core.itemsets import Itemset, ItemVocabulary
+
+__all__ = ["CorrelationRule", "AssociationRule", "format_cell"]
+
+
+def format_cell(
+    itemset: Itemset,
+    pattern: tuple[bool, ...],
+    vocabulary: ItemVocabulary | None = None,
+) -> str:
+    """Render a contingency cell like the paper does: ``a ~b c``.
+
+    Present items print as their name; absent items with a ``~`` prefix
+    (the paper's overbar).  Without a vocabulary, ids print as ``i<id>``.
+    """
+    parts = []
+    for item, present in zip(itemset.items, pattern):
+        name = vocabulary.name_of(item) if vocabulary is not None else f"i{item}"
+        parts.append(name if present else f"~{name}")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelationRule:
+    """A correlated itemset with its statistical evidence.
+
+    Attributes:
+        itemset: the correlated items.
+        result: chi-squared statistic, cutoff, p-value, validity.
+        table: the contingency table the decision was made on.
+        minimal: True when no proper subset is correlated (border element).
+    """
+
+    itemset: Itemset
+    result: CorrelationResult
+    table: ContingencyTable = field(repr=False)
+    minimal: bool = True
+
+    @property
+    def statistic(self) -> float:
+        """The chi-squared value."""
+        return self.result.statistic
+
+    @property
+    def p_value(self) -> float:
+        """Upper-tail p-value at 1 dof."""
+        return self.result.p_value
+
+    def interests(self) -> list[CellInterest]:
+        """Interest of every contingency cell (paper §3.1)."""
+        return interest_table(self.table)
+
+    def major_dependence(self) -> CellInterest:
+        """The cell contributing most to chi-squared — the paper's
+        "major dependence" column of Table 4."""
+        return most_extreme_cell(self.table)
+
+    def describe(self, vocabulary: ItemVocabulary | None = None) -> str:
+        """One-line human-readable summary of the rule."""
+        names = (
+            " ".join(vocabulary.decode(self.itemset))
+            if vocabulary is not None
+            else " ".join(f"i{i}" for i in self.itemset)
+        )
+        major = self.major_dependence()
+        cell = format_cell(self.itemset, major.pattern, vocabulary)
+        return (
+            f"{{{names}}}: chi2={self.statistic:.3f} (p={self.p_value:.3g}), "
+            f"major dependence [{cell}] I={major.interest:.3f}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A support-confidence rule ``antecedent => consequent`` (§1.1)."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float = math.nan
+
+    def __post_init__(self) -> None:
+        if self.antecedent & self.consequent:
+            raise ValueError("rule sides must be disjoint")
+        if len(self.antecedent) == 0 or len(self.consequent) == 0:
+            raise ValueError("both rule sides must be non-empty")
+
+    def passes(self, min_support: float, min_confidence: float) -> bool:
+        """The support-confidence acceptance test."""
+        return self.support >= min_support and self.confidence >= min_confidence
+
+    def describe(self, vocabulary: ItemVocabulary | None = None) -> str:
+        """One-line rendering, e.g. ``tea => coffee (s=0.20, c=0.80)``."""
+        def names(itemset: Itemset) -> str:
+            if vocabulary is not None:
+                return " ".join(vocabulary.decode(itemset))
+            return " ".join(f"i{i}" for i in itemset)
+
+        text = f"{names(self.antecedent)} => {names(self.consequent)} "
+        text += f"(s={self.support:.3f}, c={self.confidence:.3f}"
+        if not math.isnan(self.lift):
+            text += f", lift={self.lift:.3f}"
+        return text + ")"

@@ -1,0 +1,244 @@
+"""Basket databases.
+
+The paper's data model (Section 1.1): a set of items ``I`` and a set of
+baskets ``B``, each basket a subset of ``I``.  :class:`BasketDatabase`
+stores the baskets both *horizontally* (a list of item-id tuples, used
+for single-pass counting) and *vertically* (one bitmap per item over
+basket positions, used for fast support and contingency-cell counting
+via bitwise AND + popcount).
+
+Bitmaps are plain Python integers; intersecting two of them and counting
+bits runs in C, which is what makes mining 100k-basket databases
+practical in pure Python.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.itemsets import Itemset, ItemVocabulary
+
+__all__ = ["BasketDatabase"]
+
+
+class BasketDatabase:
+    """An immutable collection of baskets over an item vocabulary.
+
+    Construct with :meth:`from_baskets` (named items) or
+    :meth:`from_id_baskets` (pre-encoded integer items).
+    """
+
+    __slots__ = ("_baskets", "_vocabulary", "_bitmaps", "_item_counts")
+
+    def __init__(
+        self,
+        baskets: Sequence[tuple[int, ...]],
+        vocabulary: ItemVocabulary,
+    ) -> None:
+        self._baskets = baskets
+        self._vocabulary = vocabulary
+        self._bitmaps: list[int] | None = None
+        self._item_counts: list[int] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_baskets(
+        cls,
+        baskets: Iterable[Iterable[str]],
+        vocabulary: ItemVocabulary | None = None,
+    ) -> "BasketDatabase":
+        """Build a database from baskets of item *names*.
+
+        Unknown names are added to the vocabulary as encountered; pass an
+        existing vocabulary to share ids across databases.
+        """
+        vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        encoded: list[tuple[int, ...]] = []
+        for basket in baskets:
+            ids = sorted({vocab.add(name) for name in basket})
+            encoded.append(tuple(ids))
+        return cls(encoded, vocab)
+
+    @classmethod
+    def from_boolean_matrix(
+        cls,
+        matrix,
+        item_names: Iterable[str] | None = None,
+    ) -> "BasketDatabase":
+        """Build a database from a (baskets x items) boolean matrix.
+
+        The one-hot layout common to dataframe pipelines: row ``i``,
+        column ``j`` true means basket ``i`` contains item ``j``.
+        Accepts anything numpy can coerce to a 2-D boolean array.
+        """
+        import numpy as np
+
+        array = np.asarray(matrix, dtype=bool)
+        if array.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got {array.ndim} dimensions")
+        n_items = array.shape[1]
+        if item_names is None:
+            vocabulary = ItemVocabulary(f"item{j}" for j in range(n_items))
+        else:
+            vocabulary = ItemVocabulary(item_names)
+            if len(vocabulary) != n_items:
+                raise ValueError(
+                    f"{len(vocabulary)} item names for {n_items} matrix columns"
+                )
+        baskets = [tuple(int(j) for j in np.flatnonzero(row)) for row in array]
+        return cls(baskets, vocabulary)
+
+    def to_boolean_matrix(self):
+        """The database as a (baskets x items) boolean numpy matrix."""
+        import numpy as np
+
+        array = np.zeros((self.n_baskets, self.n_items), dtype=bool)
+        for index, basket in enumerate(self._baskets):
+            for item in basket:
+                array[index, item] = True
+        return array
+
+    @classmethod
+    def from_id_baskets(
+        cls,
+        baskets: Iterable[Iterable[int]],
+        n_items: int | None = None,
+        vocabulary: ItemVocabulary | None = None,
+    ) -> "BasketDatabase":
+        """Build a database from baskets of integer item ids.
+
+        When no vocabulary is supplied, one is synthesised with names
+        ``item0..item{k-1}`` covering ``n_items`` (or the largest id
+        seen).
+        """
+        encoded: list[tuple[int, ...]] = []
+        max_id = -1
+        for basket in baskets:
+            ids = tuple(sorted(set(basket)))
+            if ids:
+                if ids[0] < 0:
+                    raise ValueError(f"item ids must be non-negative, got {ids[0]}")
+                max_id = max(max_id, ids[-1])
+            encoded.append(ids)
+        if vocabulary is None:
+            count = max(n_items or 0, max_id + 1)
+            vocabulary = ItemVocabulary(f"item{i}" for i in range(count))
+        else:
+            if max_id >= len(vocabulary):
+                raise ValueError(
+                    f"basket references item id {max_id} outside vocabulary of size {len(vocabulary)}"
+                )
+            if n_items is not None and n_items != len(vocabulary):
+                raise ValueError("n_items disagrees with the supplied vocabulary size")
+        return cls(encoded, vocabulary)
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def vocabulary(self) -> ItemVocabulary:
+        """The item vocabulary shared by all baskets."""
+        return self._vocabulary
+
+    @property
+    def n_baskets(self) -> int:
+        """Number of baskets (the paper's ``n``)."""
+        return len(self._baskets)
+
+    @property
+    def n_items(self) -> int:
+        """Number of items in the vocabulary (the paper's ``k``)."""
+        return len(self._vocabulary)
+
+    def __len__(self) -> int:
+        return len(self._baskets)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._baskets)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return self._baskets[index]
+
+    def basket_names(self, index: int) -> tuple[str, ...]:
+        """The item names of one basket, for display."""
+        return self._vocabulary.decode(self._baskets[index])
+
+    # -- vertical index -------------------------------------------------------
+
+    def _build_bitmaps(self) -> None:
+        """Materialise one bitmap per item (bit ``i`` = basket ``i`` has it).
+
+        Built via per-item bytearrays so construction is linear in the
+        total number of item occurrences rather than quadratic in the
+        bitmap length.
+        """
+        n_bytes = (len(self._baskets) + 7) // 8
+        buffers = [bytearray(n_bytes) for _ in range(self.n_items)]
+        counts = [0] * self.n_items
+        for position, basket in enumerate(self._baskets):
+            byte, bit = position >> 3, position & 7
+            mask = 1 << bit
+            for item in basket:
+                buffers[item][byte] |= mask
+                counts[item] += 1
+        self._bitmaps = [int.from_bytes(buf, "little") for buf in buffers]
+        self._item_counts = counts
+
+    def item_bitmap(self, item: int) -> int:
+        """Bitmap of baskets containing ``item``."""
+        if self._bitmaps is None:
+            self._build_bitmaps()
+        assert self._bitmaps is not None
+        return self._bitmaps[item]
+
+    def item_count(self, item: int) -> int:
+        """O(i): number of baskets containing ``item``."""
+        if self._item_counts is None:
+            self._build_bitmaps()
+        assert self._item_counts is not None
+        return self._item_counts[item]
+
+    def item_counts(self) -> tuple[int, ...]:
+        """Occurrence counts for every item in the vocabulary."""
+        if self._item_counts is None:
+            self._build_bitmaps()
+        assert self._item_counts is not None
+        return tuple(self._item_counts)
+
+    # -- support ------------------------------------------------------------
+
+    def itemset_bitmap(self, itemset: Itemset | Iterable[int]) -> int:
+        """Bitmap of baskets containing *all* items of ``itemset``.
+
+        The empty itemset maps to the all-ones bitmap (every basket).
+        """
+        items = list(itemset)
+        if not items:
+            return (1 << len(self._baskets)) - 1
+        result = self.item_bitmap(items[0])
+        for item in items[1:]:
+            result &= self.item_bitmap(item)
+        return result
+
+    def support_count(self, itemset: Itemset | Iterable[int]) -> int:
+        """O(S): number of baskets containing every item of ``itemset``."""
+        return self.itemset_bitmap(itemset).bit_count()
+
+    def support(self, itemset: Itemset | Iterable[int]) -> float:
+        """Fraction of baskets containing ``itemset`` (classic support)."""
+        if not self._baskets:
+            raise ValueError("support is undefined on an empty database")
+        return self.support_count(itemset) / len(self._baskets)
+
+    # -- derived databases ---------------------------------------------------
+
+    def restricted_to(self, items: Iterable[int]) -> "BasketDatabase":
+        """A new database keeping only the given items (ids preserved)."""
+        kept = set(items)
+        baskets = [tuple(i for i in basket if i in kept) for basket in self._baskets]
+        return BasketDatabase(baskets, self._vocabulary)
+
+    def sample(self, indices: Iterable[int]) -> "BasketDatabase":
+        """A new database containing the baskets at ``indices``."""
+        baskets = [self._baskets[i] for i in indices]
+        return BasketDatabase(baskets, self._vocabulary)

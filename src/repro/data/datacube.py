@@ -1,0 +1,136 @@
+"""A count datacube over basket data (paper §2.1 / §6).
+
+The paper twice points at Gray et al.'s datacube [13]: "the random walk
+algorithm has a natural implementation in terms of a datacube of the
+count values for contingency tables; a connection we intend to explore
+in a later paper."  This module implements that connection.
+
+A :class:`CountDatacube` materialises, in one database pass, the counts
+of every full presence/absence pattern over a chosen set of *dimension*
+items.  Any contingency table for any sub-itemset of the dimensions is
+then a **roll-up** (marginalisation) of the cube — no further database
+access — which is exactly the access pattern of a random walk that keeps
+adding or removing items from the current itemset.
+
+The cube is stored sparsely: at most ``min(n, 2^m)`` patterns occur, so
+even wide cubes stay linear in the data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING
+
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+if TYPE_CHECKING:  # deferred at runtime: core.contingency imports repro.data
+    from repro.core.contingency import ContingencyTable
+
+__all__ = ["CountDatacube"]
+
+
+class CountDatacube:
+    """Pattern counts over ``dimensions``, answering roll-up queries.
+
+    >>> db = BasketDatabase.from_baskets([["a", "b"], ["a"], ["b"], []])
+    >>> cube = CountDatacube(db, [0, 1])
+    >>> cube.count({0: True, 1: True})
+    1
+    >>> cube.table_for(Itemset([0])).observed(1)
+    2
+    """
+
+    __slots__ = ("_dimensions", "_position", "_counts", "_n")
+
+    def __init__(self, db: BasketDatabase, dimensions: Iterable[int]) -> None:
+        dims = tuple(sorted(set(dimensions)))
+        if not dims:
+            raise ValueError("a datacube needs at least one dimension item")
+        for item in dims:
+            if not 0 <= item < db.n_items:
+                raise ValueError(f"item {item} not in the database vocabulary")
+        self._dimensions = dims
+        self._position = {item: j for j, item in enumerate(dims)}
+        counts: dict[int, int] = {}
+        seen = 0
+        position = self._position
+        for basket in db:
+            mask = 0
+            for item in basket:
+                j = position.get(item)
+                if j is not None:
+                    mask |= 1 << j
+            if mask:
+                counts[mask] = counts.get(mask, 0) + 1
+                seen += 1
+        remainder = db.n_baskets - seen
+        if remainder:
+            counts[0] = remainder
+        self._counts = counts
+        self._n = db.n_baskets
+
+    @property
+    def dimensions(self) -> tuple[int, ...]:
+        """The dimension item ids, ascending."""
+        return self._dimensions
+
+    @property
+    def n(self) -> int:
+        """Total baskets the cube summarises."""
+        return self._n
+
+    @property
+    def n_occupied(self) -> int:
+        """Occupied full-pattern cells (at most min(n, 2^m))."""
+        return len(self._counts)
+
+    def count(self, pattern: dict[int, bool]) -> int:
+        """Baskets matching a partial pattern (item -> present flag).
+
+        Items absent from ``pattern`` are marginalised out — the GROUP BY
+        semantics of a cube roll-up.
+        """
+        required_bits = 0
+        care_mask = 0
+        for item, present in pattern.items():
+            j = self._position.get(item)
+            if j is None:
+                raise KeyError(f"item {item} is not a cube dimension")
+            care_mask |= 1 << j
+            if present:
+                required_bits |= 1 << j
+        total = 0
+        for mask, count in self._counts.items():
+            if mask & care_mask == required_bits:
+                total += count
+        return total
+
+    def support_count(self, itemset: Itemset | Iterable[int]) -> int:
+        """Baskets containing every item of ``itemset`` (all-present roll-up)."""
+        return self.count({item: True for item in itemset})
+
+    def table_for(self, itemset: Itemset) -> "ContingencyTable":
+        """Roll the cube up into the contingency table of a sub-itemset.
+
+        O(occupied cells); equivalent to
+        :meth:`ContingencyTable.from_database` but without touching the
+        database — the operation a cube-backed random walk performs at
+        every step.
+        """
+        from repro.core.contingency import ContingencyTable
+
+        positions = []
+        for item in itemset:
+            j = self._position.get(item)
+            if j is None:
+                raise KeyError(f"item {item} is not a cube dimension")
+            positions.append(j)
+        sub_counts: dict[int, int] = {}
+        for mask, count in self._counts.items():
+            cell = 0
+            for new_j, j in enumerate(positions):
+                if (mask >> j) & 1:
+                    cell |= 1 << new_j
+            sub_counts[cell] = sub_counts.get(cell, 0) + count
+        return ContingencyTable(itemset, sub_counts, n=self._n)

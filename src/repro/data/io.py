@@ -1,0 +1,83 @@
+"""Reading and writing basket databases.
+
+Two plain-text interchange formats cover the ecosystem's conventions:
+
+* *named* format — one basket per line, whitespace-separated item names
+  (suits text/census data);
+* *numeric* format — one basket per line, whitespace-separated integer
+  item ids (the layout of the classic IBM Quest output files).
+
+Lines that are empty after stripping denote empty baskets, which are
+meaningful here: the paper's contingency tables count absences, so a
+basket containing none of the items still lands in a cell.
+
+Files whose name ends in ``.gz`` are read and written gzip-compressed
+transparently — market-basket dumps compress extremely well.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from collections.abc import Iterable, Iterator
+from typing import TextIO
+
+from repro.core.itemsets import ItemVocabulary
+from repro.data.basket import BasketDatabase
+
+__all__ = [
+    "read_named_baskets",
+    "write_named_baskets",
+    "read_numeric_baskets",
+    "write_numeric_baskets",
+]
+
+
+def _open_text(path: str | os.PathLike[str], mode: str) -> TextIO:
+    if os.fspath(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, mode, encoding="utf-8")
+
+
+def _iter_lines(path: str | os.PathLike[str]) -> Iterator[str]:
+    with _open_text(path, "r") as handle:
+        for line in handle:
+            yield line.rstrip("\n")
+
+
+def read_named_baskets(
+    path: str | os.PathLike[str],
+    vocabulary: ItemVocabulary | None = None,
+) -> BasketDatabase:
+    """Load a database of named baskets (one whitespace-separated line each)."""
+    baskets = (line.split() for line in _iter_lines(path))
+    return BasketDatabase.from_baskets(baskets, vocabulary=vocabulary)
+
+
+def write_named_baskets(db: BasketDatabase, path: str | os.PathLike[str]) -> None:
+    """Write a database in named format, one basket per line."""
+    with _open_text(path, "w") as handle:
+        for index in range(db.n_baskets):
+            handle.write(" ".join(db.basket_names(index)))
+            handle.write("\n")
+
+
+def read_numeric_baskets(
+    path: str | os.PathLike[str],
+    n_items: int | None = None,
+) -> BasketDatabase:
+    """Load a database of integer-id baskets (Quest-style files)."""
+
+    def parse(line: str) -> Iterable[int]:
+        return (int(token) for token in line.split())
+
+    baskets = (parse(line) for line in _iter_lines(path))
+    return BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+
+
+def write_numeric_baskets(db: BasketDatabase, path: str | os.PathLike[str]) -> None:
+    """Write a database in numeric format, one basket per line."""
+    with _open_text(path, "w") as handle:
+        for basket in db:
+            handle.write(" ".join(str(item) for item in basket))
+            handle.write("\n")

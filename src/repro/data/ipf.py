@@ -1,0 +1,179 @@
+"""Iterative proportional fitting over binary joint distributions.
+
+Reconstructing the paper's census dataset needs a joint distribution
+over 10 binary attributes whose *pairwise* contingency tables match the
+percentages the paper publishes (Table 3).  Pairwise marginals do not
+determine a joint; the canonical choice is the **maximum-entropy** joint
+subject to those marginals, which iterative proportional fitting (IPF)
+computes: cycle over the constraints, rescaling the joint so each
+pairwise table matches its target, until the adjustments vanish.
+
+The joint is stored densely as a numpy vector of length ``2^k`` indexed
+by presence bitmask (bit ``j`` = attribute ``j`` present), matching the
+cell convention of :mod:`repro.core.contingency`.  For the paper's
+``k = 10`` that is 1024 cells — trivially cheap.
+
+Zero targets (the census has structural zeros, e.g. *male* and *has
+borne 3+ children*) are honoured exactly: the affected cells are zeroed
+on the first pass and stay zero.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PairwiseTarget", "IPFResult", "fit_pairwise", "materialize_counts"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairwiseTarget:
+    """Target 2x2 distribution for one attribute pair.
+
+    ``cells`` are the probabilities (or any proportional weights) of the
+    four joint outcomes, keyed by the 2-bit pattern: bit 0 = attribute
+    ``a`` present, bit 1 = attribute ``b`` present.
+    """
+
+    a: int
+    b: int
+    cells: tuple[float, float, float, float]  # indexed by pattern 0b00..0b11
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a pairwise target needs two distinct attributes")
+        if any(c < 0 for c in self.cells):
+            raise ValueError(f"target cells must be non-negative, got {self.cells}")
+        if sum(self.cells) <= 0:
+            raise ValueError("target cells must not all be zero")
+
+    def normalized(self) -> tuple[float, float, float, float]:
+        """Cells rescaled to sum to one."""
+        total = sum(self.cells)
+        c = self.cells
+        return (c[0] / total, c[1] / total, c[2] / total, c[3] / total)
+
+
+@dataclass(slots=True)
+class IPFResult:
+    """A fitted joint distribution and its convergence diagnostics."""
+
+    joint: np.ndarray  # length 2^k, sums to 1
+    n_attributes: int
+    iterations: int
+    max_error: float
+    converged: bool
+
+    def pairwise(self, a: int, b: int) -> tuple[float, float, float, float]:
+        """The fitted 2x2 distribution of attributes ``a`` and ``b``."""
+        cells = [0.0, 0.0, 0.0, 0.0]
+        for mask, probability in enumerate(self.joint):
+            pattern = ((mask >> a) & 1) | (((mask >> b) & 1) << 1)
+            cells[pattern] += probability
+        return tuple(cells)  # type: ignore[return-value]
+
+    def marginal(self, a: int) -> float:
+        """P[attribute a present] under the fitted joint."""
+        mask = np.arange(len(self.joint))
+        return float(self.joint[(mask >> a) & 1 == 1].sum())
+
+
+def _pair_patterns(n_attributes: int, a: int, b: int) -> np.ndarray:
+    """For each joint cell, its 2-bit pattern w.r.t. attributes a, b."""
+    mask = np.arange(1 << n_attributes)
+    return ((mask >> a) & 1) | (((mask >> b) & 1) << 1)
+
+
+def fit_pairwise(
+    n_attributes: int,
+    targets: Sequence[PairwiseTarget] | Mapping[tuple[int, int], tuple[float, float, float, float]],
+    max_iterations: int = 500,
+    tolerance: float = 1e-10,
+) -> IPFResult:
+    """Fit the max-entropy joint matching the given pairwise tables.
+
+    ``targets`` may be a sequence of :class:`PairwiseTarget` or a
+    mapping ``(a, b) -> (p00, p01, p10, p11)`` using the same bit
+    convention.  Targets need not be perfectly consistent (published
+    tables are rounded); IPF then converges to a cycle whose residual is
+    reported in ``max_error``.
+
+    Raises ValueError when an attribute index is out of range.
+    """
+    if n_attributes < 1:
+        raise ValueError("need at least one attribute")
+    if isinstance(targets, Mapping):
+        target_list = [PairwiseTarget(a=a, b=b, cells=cells) for (a, b), cells in targets.items()]
+    else:
+        target_list = list(targets)
+    for target in target_list:
+        for attribute in (target.a, target.b):
+            if not 0 <= attribute < n_attributes:
+                raise ValueError(
+                    f"attribute {attribute} out of range for {n_attributes} attributes"
+                )
+
+    n_cells = 1 << n_attributes
+    joint = np.full(n_cells, 1.0 / n_cells)
+    patterns = {
+        (t.a, t.b): _pair_patterns(n_attributes, t.a, t.b) for t in target_list
+    }
+    normalized = {(t.a, t.b): np.asarray(t.normalized()) for t in target_list}
+
+    iterations = 0
+    max_error = np.inf
+    for iterations in range(1, max_iterations + 1):
+        max_error = 0.0
+        for key, target in normalized.items():
+            pattern = patterns[key]
+            current = np.bincount(pattern, weights=joint, minlength=4)
+            scale = np.ones(4)
+            for cell in range(4):
+                if target[cell] == 0.0:
+                    scale[cell] = 0.0
+                elif current[cell] > 0.0:
+                    scale[cell] = target[cell] / current[cell]
+                # current == 0 with positive target: leave the scale at 1;
+                # mass cannot be created where the joint has none (it can
+                # flow back in via other constraints on later sweeps).
+            joint *= scale[pattern]
+            error = float(np.abs(current - target).max())
+            max_error = max(max_error, error)
+        total = joint.sum()
+        if total <= 0:
+            raise ArithmeticError("IPF drove the whole joint to zero; targets conflict")
+        joint /= total
+        if max_error < tolerance:
+            break
+
+    return IPFResult(
+        joint=joint,
+        n_attributes=n_attributes,
+        iterations=iterations,
+        max_error=max_error,
+        converged=max_error < tolerance,
+    )
+
+
+def materialize_counts(joint: np.ndarray, n: int) -> np.ndarray:
+    """Round a probability vector to integer counts summing exactly to ``n``.
+
+    Largest-remainder (Hamilton) rounding: floor everything, then hand
+    the leftover units to the cells with the largest fractional parts.
+    Deterministic, so the synthesized census is reproducible bit for bit.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    total = joint.sum()
+    if total <= 0:
+        raise ValueError("joint has no mass")
+    scaled = joint * (n / total)
+    counts = np.floor(scaled).astype(np.int64)
+    shortfall = n - int(counts.sum())
+    if shortfall > 0:
+        remainders = scaled - counts
+        top = np.argsort(-remainders, kind="stable")[:shortfall]
+        counts[top] += 1
+    return counts

@@ -1,0 +1,97 @@
+"""Parity data: datasets with a planted high correlation border (§6).
+
+The paper closes with: "All of the data we have presented have small
+borders because most small itemsets are correlated.  It might be
+fruitful to explore the behavior of data sets where the border is
+exponential in the number of items."  Parity constructions are the
+canonical way to push the border up:
+
+For a group of ``m`` items, sample ``m - 1`` fair independent coins and
+set the last item to their XOR (even parity).  Then *every proper
+subset* of the group is exactly mutually independent — uniform
+marginals, product-form joints — while the full group is maximally
+dependent (half of its ``2^m`` patterns are impossible).  The
+correlation border for that group therefore sits exactly at level
+``m``, and the expected chi-squared of the full group is ``n`` (each
+feasible cell holds twice its independence expectation).
+
+Multiple disjoint groups plant multiple border elements; optional noise
+items add independent background.  This is the worst-case probe for a
+level-wise miner — everything below the border is supported and
+uncorrelated, so nothing prunes — and the natural showcase for the
+random-walk alternative.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+__all__ = ["generate_parity_data", "planted_border"]
+
+
+def generate_parity_data(
+    n_baskets: int,
+    group_sizes: Sequence[int],
+    noise_items: int = 0,
+    seed: int = 0,
+) -> BasketDatabase:
+    """Baskets with one even-parity group per entry of ``group_sizes``.
+
+    Items are laid out group by group (group 0 gets ids ``0..m0-1``,
+    and so on), with ``noise_items`` independent fair coins at the end.
+
+    Args:
+        n_baskets: number of baskets to draw.
+        group_sizes: size of each parity group; each must be >= 2.
+        noise_items: extra independent items appended after the groups.
+        seed: RNG seed (deterministic output).
+    """
+    if n_baskets < 1:
+        raise ValueError("n_baskets must be >= 1")
+    if not group_sizes and noise_items == 0:
+        raise ValueError("need at least one group or noise item")
+    for size in group_sizes:
+        if size < 2:
+            raise ValueError(f"parity groups need >= 2 items, got {size}")
+    if noise_items < 0:
+        raise ValueError("noise_items must be non-negative")
+
+    rng = random.Random(seed)
+    n_items = sum(group_sizes) + noise_items
+    baskets: list[tuple[int, ...]] = []
+    for _ in range(n_baskets):
+        basket: list[int] = []
+        base = 0
+        for size in group_sizes:
+            parity = 0
+            for offset in range(size - 1):
+                if rng.random() < 0.5:
+                    basket.append(base + offset)
+                    parity ^= 1
+            # Last item forces even parity over the group.
+            if parity:
+                basket.append(base + size - 1)
+            base += size
+        for offset in range(noise_items):
+            if rng.random() < 0.5:
+                basket.append(base + offset)
+        baskets.append(tuple(basket))
+    return BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+
+
+def planted_border(group_sizes: Sequence[int]) -> list[Itemset]:
+    """The minimal correlated itemsets the construction plants.
+
+    One element per group: the full group itemset (its proper subsets
+    are independent by the parity property).
+    """
+    border: list[Itemset] = []
+    base = 0
+    for size in group_sizes:
+        border.append(Itemset(range(base, base + size)))
+        base += size
+    return sorted(border)

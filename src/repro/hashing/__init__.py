@@ -1,0 +1,7 @@
+"""Perfect hashing substrate (FKS two-level tables) for the miner."""
+
+from repro.hashing.fks import DynamicFKSTable, FKSTable
+from repro.hashing.hashtree import HashTree
+from repro.hashing.itemset_table import ItemsetTable, itemset_key
+
+__all__ = ["DynamicFKSTable", "FKSTable", "HashTree", "ItemsetTable", "itemset_key"]

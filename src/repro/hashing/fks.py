@@ -1,0 +1,243 @@
+"""FKS two-level perfect hashing.
+
+Section 4 of the paper proposes implementing the candidate-generation
+step "based on perfect hash tables (see [10, 7] ...): there are no
+collisions, and insertion, deletion, and lookup all take constant time.
+The space used is linear in the size of the data."  [10] is
+Fredman-Komlós-Szemerédi static perfect hashing; [7] the
+Dietzfelbinger et al. dynamisation.
+
+:class:`FKSTable` is the classical static scheme: a top-level universal
+hash function splits ``n`` keys into ``n`` buckets (retrying until the
+sum of squared bucket sizes is linear, which a random universal function
+achieves with probability >= 1/2), and each bucket of size ``b`` gets a
+collision-free second-level function into ``b^2`` slots (again found by
+retrying; constant expected attempts).  Lookups probe exactly one slot.
+
+:class:`DynamicFKSTable` adds amortised-O(1) insertion and deletion by
+global rebuild on geometric growth, the standard semi-dynamisation of
+the static scheme.
+
+Keys are arbitrary non-negative integers (itemsets are serialised to
+integers by :mod:`repro.hashing.itemset_table`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Iterator
+
+__all__ = ["FKSTable", "DynamicFKSTable"]
+
+# A Mersenne prime comfortably above any key the library produces;
+# universal hashing h(x) = ((a x + b) mod p) mod m requires p > max key.
+_PRIME = (1 << 61) - 1
+
+
+class _UniversalHash:
+    """h(x) = ((a*x + b) mod p) mod m from the Carter-Wegman family."""
+
+    __slots__ = ("a", "b", "m")
+
+    def __init__(self, rng: random.Random, m: int) -> None:
+        self.a = rng.randrange(1, _PRIME)
+        self.b = rng.randrange(0, _PRIME)
+        self.m = m
+
+    def __call__(self, key: int) -> int:
+        return ((self.a * key + self.b) % _PRIME) % self.m
+
+
+class FKSTable:
+    """Static FKS perfect hash table mapping integer keys to values.
+
+    Build cost is expected O(n); lookup is worst-case O(1) with no
+    collisions.  The structure is immutable after construction.
+    """
+
+    __slots__ = ("_top", "_buckets", "_size")
+
+    # Constant bounding sum(b_i^2); 4n holds with probability >= 1/2 for
+    # a random universal function (Markov on E[collisions]).
+    _SQUARED_BUDGET_FACTOR = 4
+
+    def __init__(self, items: Iterable[tuple[int, object]], seed: int = 0x5151) -> None:
+        pairs = list(items)
+        keys = [key for key, _ in pairs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate keys passed to FKSTable")
+        for key in keys:
+            if key < 0 or key >= _PRIME:
+                raise ValueError(f"keys must be in [0, 2^61 - 1), got {key}")
+        rng = random.Random(seed)
+        self._size = len(pairs)
+        n = max(len(pairs), 1)
+
+        # Top level: retry until the squared bucket sizes are linear.
+        for _ in range(64):
+            top = _UniversalHash(rng, n)
+            bucket_keys: list[list[tuple[int, object]]] = [[] for _ in range(n)]
+            for key, value in pairs:
+                bucket_keys[top(key)].append((key, value))
+            squared = sum(len(b) ** 2 for b in bucket_keys)
+            if squared <= self._SQUARED_BUDGET_FACTOR * n:
+                break
+        else:
+            raise RuntimeError("FKS top-level hash selection failed to converge")
+        self._top = top
+
+        # Second level: per bucket, a collision-free function into b^2 slots.
+        buckets: list[tuple[_UniversalHash, list[tuple[int, object] | None]] | None] = []
+        for bucket in bucket_keys:
+            if not bucket:
+                buckets.append(None)
+                continue
+            slots_needed = len(bucket) ** 2
+            for _ in range(256):
+                inner = _UniversalHash(rng, slots_needed)
+                slots: list[tuple[int, object] | None] = [None] * slots_needed
+                collision = False
+                for key, value in bucket:
+                    slot = inner(key)
+                    if slots[slot] is not None:
+                        collision = True
+                        break
+                    slots[slot] = (key, value)
+                if not collision:
+                    buckets.append((inner, slots))
+                    break
+            else:
+                raise RuntimeError("FKS second-level hash selection failed to converge")
+        self._buckets = buckets
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _slot(self, key: int) -> tuple[int, object] | None:
+        if self._size == 0:
+            return None
+        bucket = self._buckets[self._top(key)]
+        if bucket is None:
+            return None
+        inner, slots = bucket
+        return slots[inner(key)]
+
+    def __contains__(self, key: int) -> bool:
+        entry = self._slot(key)
+        return entry is not None and entry[0] == key
+
+    def get(self, key: int, default: object = None) -> object:
+        entry = self._slot(key)
+        if entry is not None and entry[0] == key:
+            return entry[1]
+        return default
+
+    def __getitem__(self, key: int) -> object:
+        entry = self._slot(key)
+        if entry is None or entry[0] != key:
+            raise KeyError(key)
+        return entry[1]
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        for bucket in self._buckets:
+            if bucket is None:
+                continue
+            for entry in bucket[1]:
+                if entry is not None:
+                    yield entry
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self.items():
+            yield key
+
+    def slot_count(self) -> int:
+        """Total second-level slots — linear in n by the FKS argument."""
+        return sum(len(bucket[1]) for bucket in self._buckets if bucket is not None)
+
+
+class DynamicFKSTable:
+    """Amortised-O(1) insert/delete over :class:`FKSTable`.
+
+    Inserts accumulate in a small overflow area; when the overflow
+    reaches a constant fraction of the static part, everything is
+    rebuilt into a fresh static table.  Deletions are tombstoned and
+    compacted at the next rebuild.  This is the textbook semi-dynamic
+    FKS construction; all lookups remain O(1) worst case (one static
+    probe plus one overflow probe of bounded size... amortised across
+    rebuilds).
+    """
+
+    __slots__ = ("_static", "_overflow", "_deleted", "_shadowed", "_seed")
+
+    _OVERFLOW_FRACTION = 0.5
+
+    def __init__(self, items: Iterable[tuple[int, object]] = (), seed: int = 0x5151) -> None:
+        self._seed = seed
+        self._static = FKSTable(items, seed=seed)
+        self._overflow: dict[int, object] = {}
+        self._deleted: set[int] = set()
+        # Keys living in BOTH the static table and the overflow (an
+        # overwrite of a static key); counted once in __len__.
+        self._shadowed = 0
+
+    def __len__(self) -> int:
+        return len(self._static) - len(self._deleted) + len(self._overflow) - self._shadowed
+
+    def __contains__(self, key: int) -> bool:
+        if key in self._deleted:
+            return False
+        return key in self._overflow or key in self._static
+
+    def get(self, key: int, default: object = None) -> object:
+        if key in self._deleted:
+            return default
+        if key in self._overflow:
+            return self._overflow[key]
+        return self._static.get(key, default)
+
+    def __getitem__(self, key: int) -> object:
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            raise KeyError(key)
+        return value
+
+    def insert(self, key: int, value: object) -> None:
+        if key not in self._overflow and key in self._static:
+            self._shadowed += 1
+        self._deleted.discard(key)
+        self._overflow[key] = value
+        threshold = max(8, int(self._OVERFLOW_FRACTION * max(len(self._static), 1)))
+        if len(self._overflow) > threshold:
+            self._rebuild()
+
+    def delete(self, key: int) -> None:
+        if key not in self:
+            raise KeyError(key)
+        if key in self._overflow:
+            del self._overflow[key]
+            if key in self._static:
+                # The static copy must not resurface.
+                self._shadowed -= 1
+                self._deleted.add(key)
+            return
+        self._deleted.add(key)
+
+    def _rebuild(self) -> None:
+        merged = {
+            key: value
+            for key, value in self._static.items()
+            if key not in self._deleted
+        }
+        merged.update(self._overflow)
+        self._seed += 1
+        self._static = FKSTable(merged.items(), seed=self._seed)
+        self._overflow = {}
+        self._deleted = set()
+        self._shadowed = 0
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        for key, value in self._static.items():
+            if key not in self._deleted and key not in self._overflow:
+                yield key, value
+        yield from self._overflow.items()

@@ -1,0 +1,153 @@
+"""Itemset-keyed hash tables for the miner's NOTSIG / CAND sets.
+
+The Figure 1 algorithm needs constant-time membership tests on sets of
+itemsets ("We can test each one for inclusion in NOTSIG in constant
+time").  :class:`ItemsetTable` provides that interface, with two
+interchangeable backends:
+
+* ``backend="fks"`` — the paper's choice: itemsets are serialised to
+  integers and stored in a :class:`~repro.hashing.fks.DynamicFKSTable`
+  (collision-free probes);
+* ``backend="dict"`` — a plain Python dict, used as the ablation
+  baseline (and the pragmatic default: CPython dicts are themselves
+  open-addressed hash tables).
+
+Serialisation packs each item id into 20 bits (item spaces up to ~1M
+items), so itemsets up to size 3 fit the 61-bit universal-hashing key
+domain directly; larger itemsets are folded with a polynomial rolling
+hash, which is collision-free in practice for the key sets a miner
+builds and verified at insert time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.itemsets import Itemset
+from repro.hashing.fks import DynamicFKSTable
+
+__all__ = ["ItemsetTable", "itemset_key"]
+
+_ITEM_BITS = 20
+_MAX_ITEM = (1 << _ITEM_BITS) - 1
+_KEY_SPACE = (1 << 61) - 1
+_POLY_BASE = 1_000_003
+
+
+def itemset_key(itemset: Itemset) -> int:
+    """Serialise an itemset to a non-negative integer key.
+
+    Itemsets of up to three items (with ids < 2^20) are packed exactly
+    and injectively; wider itemsets fold via a polynomial rolling hash
+    modulo a 61-bit prime.  The one extra high bit distinguishes packed
+    from folded keys so the two ranges cannot alias.
+    """
+    items = itemset.items
+    if len(items) <= 3 and (not items or items[-1] <= _MAX_ITEM):
+        key = 0
+        for item in items:
+            key = (key << _ITEM_BITS) | (item + 1)
+        return key
+    key = len(items)
+    for item in items:
+        key = (key * _POLY_BASE + item + 1) % (_KEY_SPACE - (1 << 60))
+    return key | (1 << 60)
+
+
+class ItemsetTable:
+    """A mapping from :class:`Itemset` to values with O(1) operations.
+
+    Behaves like a minimal dict; the backend selects the underlying
+    hash structure.  With the FKS backend, original itemsets are kept
+    alongside values so key folding can be verified (a fold collision —
+    never observed in practice — raises rather than corrupting the
+    mining state).
+    """
+
+    __slots__ = ("_backend", "_dict", "_fks")
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Itemset, object]] = (),
+        backend: str = "dict",
+    ) -> None:
+        if backend not in ("dict", "fks"):
+            raise ValueError(f"unknown backend {backend!r}; use 'dict' or 'fks'")
+        self._backend = backend
+        self._dict: dict[Itemset, object] | None = {} if backend == "dict" else None
+        self._fks: DynamicFKSTable | None = (
+            DynamicFKSTable() if backend == "fks" else None
+        )
+        for itemset, value in items:
+            self.insert(itemset, value)
+
+    @property
+    def backend(self) -> str:
+        """The backend name this table was built with."""
+        return self._backend
+
+    def __len__(self) -> int:
+        if self._dict is not None:
+            return len(self._dict)
+        assert self._fks is not None
+        return len(self._fks)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        if self._dict is not None:
+            return itemset in self._dict
+        assert self._fks is not None
+        entry = self._fks.get(itemset_key(itemset))
+        return entry is not None and entry[0] == itemset
+
+    def insert(self, itemset: Itemset, value: object = None) -> None:
+        if self._dict is not None:
+            self._dict[itemset] = value
+            return
+        assert self._fks is not None
+        key = itemset_key(itemset)
+        existing = self._fks.get(key)
+        if existing is not None and existing[0] != itemset:
+            raise RuntimeError(
+                f"itemset key fold collision between {existing[0]!r} and {itemset!r}"
+            )
+        self._fks.insert(key, (itemset, value))
+
+    def get(self, itemset: Itemset, default: object = None) -> object:
+        if self._dict is not None:
+            return self._dict.get(itemset, default)
+        assert self._fks is not None
+        entry = self._fks.get(itemset_key(itemset))
+        if entry is None or entry[0] != itemset:
+            return default
+        return entry[1]
+
+    def __getitem__(self, itemset: Itemset) -> object:
+        sentinel = object()
+        value = self.get(itemset, sentinel)
+        if value is sentinel:
+            raise KeyError(itemset)
+        return value
+
+    def delete(self, itemset: Itemset) -> None:
+        if self._dict is not None:
+            del self._dict[itemset]
+            return
+        assert self._fks is not None
+        if itemset not in self:
+            raise KeyError(itemset)
+        self._fks.delete(itemset_key(itemset))
+
+    def items(self) -> Iterator[tuple[Itemset, object]]:
+        if self._dict is not None:
+            yield from self._dict.items()
+            return
+        assert self._fks is not None
+        for _, entry in self._fks.items():
+            yield entry  # (itemset, value)
+
+    def keys(self) -> Iterator[Itemset]:
+        for itemset, _ in self.items():
+            yield itemset
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return self.keys()

@@ -1,0 +1,59 @@
+"""Rule measures: classic support/confidence family and cell-based support."""
+
+from repro.measures.cellsupport import (
+    AntiSupport,
+    CellSupport,
+    level1_pair_may_have_support,
+)
+from repro.measures.classic import (
+    RuleStats,
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    rule_stats,
+    support,
+    support_count,
+)
+from repro.measures.interestingness import (
+    all_confidence,
+    cosine,
+    jaccard,
+    kulczynski,
+    measure_catalog,
+    odds_ratio,
+    phi_coefficient,
+)
+from repro.measures.ranking import (
+    rank_by_extremeness,
+    rank_by_statistic,
+    rank_by_support,
+    rank_by_surprise,
+    ranking_displacement,
+)
+
+__all__ = [
+    "AntiSupport",
+    "CellSupport",
+    "level1_pair_may_have_support",
+    "RuleStats",
+    "confidence",
+    "conviction",
+    "leverage",
+    "lift",
+    "rule_stats",
+    "support",
+    "support_count",
+    "all_confidence",
+    "cosine",
+    "jaccard",
+    "kulczynski",
+    "measure_catalog",
+    "odds_ratio",
+    "phi_coefficient",
+    "rank_by_extremeness",
+    "rank_by_statistic",
+    "rank_by_support",
+    "rank_by_surprise",
+    "ranking_displacement",
+]

@@ -1,0 +1,129 @@
+"""Classic support-confidence measures and their relatives.
+
+These are the baseline the paper argues against (§1.1, §3.2): support
+and confidence for rules ``antecedent => consequent``, plus the
+correlation-flavoured descendants that this paper's interest measure
+inspired (lift, leverage, conviction).  All operate on a
+:class:`~repro.data.basket.BasketDatabase`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+__all__ = [
+    "support",
+    "support_count",
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "RuleStats",
+    "rule_stats",
+]
+
+
+def support_count(db: BasketDatabase, itemset: Itemset) -> int:
+    """Number of baskets containing every item of ``itemset``."""
+    return db.support_count(itemset)
+
+
+def support(db: BasketDatabase, itemset: Itemset) -> float:
+    """Fraction of baskets containing ``itemset`` (classic, downward closed)."""
+    return db.support(itemset)
+
+
+def _disjoint_union(antecedent: Itemset, consequent: Itemset) -> Itemset:
+    if antecedent & consequent:
+        raise ValueError(
+            f"antecedent {antecedent!r} and consequent {consequent!r} must be disjoint"
+        )
+    if len(antecedent) == 0 or len(consequent) == 0:
+        raise ValueError("both rule sides must be non-empty")
+    return antecedent | consequent
+
+
+def confidence(db: BasketDatabase, antecedent: Itemset, consequent: Itemset) -> float:
+    """P[consequent | antecedent], estimated from the database.
+
+    Undefined (``nan``) when the antecedent never occurs.
+    """
+    union = _disjoint_union(antecedent, consequent)
+    denominator = db.support_count(antecedent)
+    if denominator == 0:
+        return math.nan
+    return db.support_count(union) / denominator
+
+
+def lift(db: BasketDatabase, antecedent: Itemset, consequent: Itemset) -> float:
+    """P[A and B] / (P[A] P[B]) — the paper's two-set dependence (§3.1).
+
+    This is the single-cell interest of the all-present cell; > 1 means
+    positive dependence, < 1 negative.
+    """
+    union = _disjoint_union(antecedent, consequent)
+    n = db.n_baskets
+    pa = db.support_count(antecedent) / n
+    pb = db.support_count(consequent) / n
+    if pa == 0.0 or pb == 0.0:
+        return math.nan
+    return (db.support_count(union) / n) / (pa * pb)
+
+
+def leverage(db: BasketDatabase, antecedent: Itemset, consequent: Itemset) -> float:
+    """P[A and B] - P[A] P[B] (Piatetsky-Shapiro's difference form)."""
+    union = _disjoint_union(antecedent, consequent)
+    n = db.n_baskets
+    return db.support_count(union) / n - (
+        db.support_count(antecedent) / n
+    ) * (db.support_count(consequent) / n)
+
+
+def conviction(db: BasketDatabase, antecedent: Itemset, consequent: Itemset) -> float:
+    """P[A] P[not B] / P[A and not B].
+
+    Infinite for a rule that never fails; 1 for independent sides.
+    """
+    union = _disjoint_union(antecedent, consequent)
+    n = db.n_baskets
+    pa = db.support_count(antecedent) / n
+    pnb = 1.0 - db.support_count(consequent) / n
+    pa_nb = pa - db.support_count(union) / n
+    if pa_nb == 0.0:
+        return math.inf if pa * pnb > 0 else math.nan
+    return pa * pnb / pa_nb
+
+
+@dataclass(frozen=True, slots=True)
+class RuleStats:
+    """All classic measures of one rule, computed in one place."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def passes(self, min_support: float, min_confidence: float) -> bool:
+        """The support-confidence framework's acceptance test (§1.1)."""
+        return self.support >= min_support and self.confidence >= min_confidence
+
+
+def rule_stats(db: BasketDatabase, antecedent: Itemset, consequent: Itemset) -> RuleStats:
+    """Compute every classic measure for ``antecedent => consequent``."""
+    union = _disjoint_union(antecedent, consequent)
+    return RuleStats(
+        antecedent=antecedent,
+        consequent=consequent,
+        support=db.support(union),
+        confidence=confidence(db, antecedent, consequent),
+        lift=lift(db, antecedent, consequent),
+        leverage=leverage(db, antecedent, consequent),
+        conviction=conviction(db, antecedent, consequent),
+    )

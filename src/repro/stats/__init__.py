@@ -1,0 +1,48 @@
+"""Statistical substrate: chi-squared distribution, exact tests, G-test.
+
+Everything here is implemented from first principles (incomplete gamma
+series / continued fractions, hypergeometric enumeration) so the mining
+library runs without scipy; the test suite cross-validates against scipy
+when it is available.
+"""
+
+from repro.stats.binomial import (
+    binomial_cdf,
+    binomial_pmf,
+    chi_squared_from_binomial,
+    de_moivre_laplace_pmf,
+    normal_cdf,
+    normal_pdf,
+    standardized_count,
+)
+from repro.stats.chi2 import cdf, degrees_of_freedom, pdf, ppf, sf
+from repro.stats.criticals import CHI2_95_DF1, critical_value
+from repro.stats.exact import PermutationResult, permutation_p_value
+from repro.stats.fisher import FisherResult, fisher_exact_2x2
+from repro.stats.gamma import log_gamma, lower_regularized, upper_regularized
+from repro.stats.gtest import g_statistic
+
+__all__ = [
+    "binomial_cdf",
+    "binomial_pmf",
+    "chi_squared_from_binomial",
+    "de_moivre_laplace_pmf",
+    "normal_cdf",
+    "normal_pdf",
+    "standardized_count",
+    "cdf",
+    "sf",
+    "pdf",
+    "ppf",
+    "degrees_of_freedom",
+    "critical_value",
+    "CHI2_95_DF1",
+    "PermutationResult",
+    "permutation_p_value",
+    "FisherResult",
+    "fisher_exact_2x2",
+    "log_gamma",
+    "lower_regularized",
+    "upper_regularized",
+    "g_statistic",
+]

@@ -1,0 +1,128 @@
+"""Binomial machinery behind the chi-squared statistic (Appendix A).
+
+The appendix grounds the chi-squared test in the classical chain:
+a Bernoulli count ``X ~ Binomial(N, p)`` is asymptotically normal
+(de Moivre [21], Laplace [19]), the standardised variable
+``z = (X - Np) / sqrt(Np(1-p))`` is standard normal, and its square
+
+    z^2 = (X1 - E[X1])^2 / E[X1] + (X0 - E[X0])^2 / E[X0]
+
+is exactly the one-degree-of-freedom chi-squared statistic of the
+success/failure table.  This module provides those pieces — binomial
+pmf/cdf, the normal distribution, the de Moivre-Laplace approximation,
+and the squared-z identity — so the library's statistical claims are
+testable from first principles rather than taken on faith.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "binomial_pmf",
+    "binomial_cdf",
+    "normal_pdf",
+    "normal_cdf",
+    "de_moivre_laplace_pmf",
+    "standardized_count",
+    "chi_squared_from_binomial",
+]
+
+
+def _validate_binomial(n: int, p: float, k: int | None = None) -> None:
+    if n < 0:
+        raise ValueError(f"number of trials must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"success probability must be in [0, 1], got {p}")
+    if k is not None and not 0 <= k <= n:
+        raise ValueError(f"count must be in [0, {n}], got {k}")
+
+
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    """P[X = k] for X ~ Binomial(n, p), computed in log space."""
+    _validate_binomial(n, p, k)
+    if p == 0.0:
+        return 1.0 if k == 0 else 0.0
+    if p == 1.0:
+        return 1.0 if k == n else 0.0
+    log_pmf = (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log1p(-p)
+    )
+    return math.exp(log_pmf)
+
+
+def binomial_cdf(k: int, n: int, p: float) -> float:
+    """P[X <= k] for X ~ Binomial(n, p) by direct summation.
+
+    Intended for the moderate ``n`` of statistical validation; the
+    summation is exact to double precision, not fast.
+    """
+    _validate_binomial(n, p)
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    return min(1.0, sum(binomial_pmf(i, n, p) for i in range(k + 1)))
+
+
+def normal_pdf(x: float, mean: float = 0.0, deviation: float = 1.0) -> float:
+    """Density of the normal distribution."""
+    if deviation <= 0:
+        raise ValueError(f"deviation must be positive, got {deviation}")
+    z = (x - mean) / deviation
+    return math.exp(-0.5 * z * z) / (deviation * math.sqrt(2.0 * math.pi))
+
+
+def normal_cdf(x: float, mean: float = 0.0, deviation: float = 1.0) -> float:
+    """P[X <= x] for a normal variable, via the error function."""
+    if deviation <= 0:
+        raise ValueError(f"deviation must be positive, got {deviation}")
+    return 0.5 * (1.0 + math.erf((x - mean) / (deviation * math.sqrt(2.0))))
+
+
+def de_moivre_laplace_pmf(k: int, n: int, p: float) -> float:
+    """The normal approximation to the binomial pmf (with continuity).
+
+    ``P[X = k] ~ Phi(k + 1/2) - Phi(k - 1/2)`` for the normal with the
+    binomial's mean and variance — the approximation Appendix A cites as
+    the foundation of the chi-squared statistic, and whose breakdown at
+    small expectations is exactly §3.3's warning.
+    """
+    _validate_binomial(n, p, k)
+    if p in (0.0, 1.0):
+        return binomial_pmf(k, n, p)
+    mean = n * p
+    deviation = math.sqrt(n * p * (1.0 - p))
+    return normal_cdf(k + 0.5, mean, deviation) - normal_cdf(k - 0.5, mean, deviation)
+
+
+def standardized_count(successes: int, n: int, p: float) -> float:
+    """z = (X - Np) / sqrt(Np(1-p)) — asymptotically standard normal."""
+    _validate_binomial(n, p, successes)
+    variance = n * p * (1.0 - p)
+    if variance == 0.0:
+        raise ValueError("degenerate distribution (p is 0 or 1) has no z-score")
+    return (successes - n * p) / math.sqrt(variance)
+
+
+def chi_squared_from_binomial(successes: int, n: int, p: float) -> float:
+    """The Appendix A identity: z^2 written as the two-cell chi-squared sum.
+
+    Returns ``(X1 - Np)^2/(Np) + (X0 - N(1-p))^2/(N(1-p))``, which
+    equals ``standardized_count(...)**2`` exactly — the bridge between
+    the normal theory and the contingency-table statistic.
+    """
+    _validate_binomial(n, p, successes)
+    expected_success = n * p
+    expected_failure = n * (1.0 - p)
+    if expected_success == 0.0 or expected_failure == 0.0:
+        raise ValueError("degenerate distribution (p is 0 or 1)")
+    failures = n - successes
+    return (
+        (successes - expected_success) ** 2 / expected_success
+        + (failures - expected_failure) ** 2 / expected_failure
+    )

@@ -1,0 +1,61 @@
+"""Critical values for the chi-squared test.
+
+The paper works "from widely available tables for the chi-squared
+distribution" and quotes 3.84 as the 95% cutoff at one degree of
+freedom.  We keep a small table of the classical cutoffs for exactness
+and fall back to :func:`repro.stats.chi2.ppf` for anything else, so any
+significance level / degrees-of-freedom combination works.
+"""
+
+from __future__ import annotations
+
+from repro.stats import chi2
+
+__all__ = ["critical_value", "CHI2_95_DF1"]
+
+# The cutoff the paper uses throughout: 95% significance, 1 dof.
+CHI2_95_DF1 = 3.841458820694124
+
+# Precomputed full-precision cutoffs (significance level -> df -> value)
+# for the common settings, so repeated significance tests skip the
+# quantile solve entirely.
+_TABLE: dict[float, dict[int, float]] = {
+    0.90: {
+        1: 2.705543454095404,
+        2: 4.605170185988092,
+        3: 6.251388631170325,
+        4: 7.779440339734858,
+        5: 9.236356899781123,
+    },
+    0.95: {
+        1: 3.841458820694124,
+        2: 5.991464547107979,
+        3: 7.814727903251179,
+        4: 9.487729036781154,
+        5: 11.070497693516351,
+    },
+    0.99: {
+        1: 6.6348966010212145,
+        2: 9.21034037197618,
+        3: 11.344866730144373,
+        4: 13.276704135987622,
+        5: 15.08627246938899,
+    },
+}
+
+
+def critical_value(significance: float = 0.95, df: int = 1) -> float:
+    """The chi-squared cutoff for the given significance level.
+
+    ``significance`` is the paper's alpha-complement convention: a value
+    of 0.95 means "reject independence when the statistic exceeds the
+    95th percentile of the null distribution".
+    """
+    if not 0.0 < significance < 1.0:
+        raise ValueError(f"significance must be in (0, 1), got {significance}")
+    by_df = _TABLE.get(round(significance, 10))
+    if by_df is not None:
+        cutoff = by_df.get(df)
+        if cutoff is not None:
+            return cutoff
+    return chi2.ppf(significance, df)

@@ -1,0 +1,117 @@
+"""Regularized incomplete gamma functions.
+
+The chi-squared distribution function is a regularized incomplete gamma
+function: ``P(k/2, x/2)``.  We implement ``P`` and ``Q`` from scratch
+(series expansion for ``x < a + 1``, Lentz continued fraction otherwise)
+so that the library has no hard runtime dependency on scipy; the test
+suite cross-checks every value against ``scipy.special`` when scipy is
+installed.
+
+The algorithms follow the classical presentations (Abramowitz & Stegun
+§6.5; Numerical Recipes §6.2) and are accurate to ~1e-12 over the ranges
+a data miner will ever see (degrees of freedom up to millions, statistics
+up to ~1e9).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["lower_regularized", "upper_regularized", "log_gamma"]
+
+# Convergence controls shared by the series and the continued fraction.
+_MAX_ITERATIONS = 10_000
+_EPSILON = 1e-15
+_TINY = 1e-300
+
+
+def log_gamma(a: float) -> float:
+    """Natural log of the gamma function for ``a > 0``.
+
+    Thin wrapper over :func:`math.lgamma` kept as a named seam so the
+    stats package has a single gamma entry point.
+    """
+    if a <= 0:
+        raise ValueError(f"log_gamma requires a > 0, got {a}")
+    return math.lgamma(a)
+
+
+def _lower_series(a: float, x: float) -> float:
+    """P(a, x) by the power series, valid and fast for x < a + 1."""
+    term = 1.0 / a
+    total = term
+    denominator = a
+    for _ in range(_MAX_ITERATIONS):
+        denominator += 1.0
+        term *= x / denominator
+        total += term
+        if abs(term) < abs(total) * _EPSILON:
+            break
+    else:
+        raise ArithmeticError(f"incomplete gamma series failed to converge (a={a}, x={x})")
+    log_prefactor = -x + a * math.log(x) - log_gamma(a)
+    return total * math.exp(log_prefactor)
+
+
+def _upper_continued_fraction(a: float, x: float) -> float:
+    """Q(a, x) by the Lentz continued fraction, valid for x >= a + 1."""
+    b = x + 1.0 - a
+    c = 1.0 / _TINY
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _TINY:
+            d = _TINY
+        c = b + an / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            break
+    else:
+        raise ArithmeticError(
+            f"incomplete gamma continued fraction failed to converge (a={a}, x={x})"
+        )
+    log_prefactor = -x + a * math.log(x) - log_gamma(a)
+    return math.exp(log_prefactor) * h
+
+
+def lower_regularized(a: float, x: float) -> float:
+    """The regularized lower incomplete gamma function P(a, x).
+
+    ``P(a, x) = gamma(a, x) / Gamma(a)``; this is the CDF of a Gamma(a, 1)
+    random variable evaluated at ``x``.
+    """
+    if a <= 0:
+        raise ValueError(f"shape parameter must be positive, got a={a}")
+    if x < 0:
+        raise ValueError(f"argument must be non-negative, got x={x}")
+    if x == 0:
+        return 0.0
+    if x < a + 1.0:
+        return _lower_series(a, x)
+    return 1.0 - _upper_continued_fraction(a, x)
+
+
+def upper_regularized(a: float, x: float) -> float:
+    """The regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+
+    Computed directly by continued fraction when ``x >= a + 1`` so tail
+    probabilities keep full relative precision (important for the extreme
+    chi-squared statistics the census data produces, where ``1 - P``
+    would round to 0).
+    """
+    if a <= 0:
+        raise ValueError(f"shape parameter must be positive, got a={a}")
+    if x < 0:
+        raise ValueError(f"argument must be non-negative, got x={x}")
+    if x == 0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _lower_series(a, x)
+    return _upper_continued_fraction(a, x)

@@ -1,0 +1,41 @@
+"""The likelihood-ratio G-test for independence.
+
+An alternative to Pearson's chi-squared with the same null distribution
+(chi-squared with the same degrees of freedom) but better behaviour when
+cell counts are moderate.  The paper's framework is parameterised by "a
+measure that is upward closed"; the G statistic shares the additivity
+that drives Theorem 1's closure argument, so the miner can swap it in
+via the ``statistic`` hook.
+
+``G = 2 * sum_r O(r) * ln(O(r) / E[r])`` over cells with ``O(r) > 0``.
+Like the paper's sparse chi-squared evaluation, the sum naturally skips
+empty cells, so it is ``O(min(n, 2^k))`` per table.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["g_statistic"]
+
+
+def g_statistic(cells: Iterable[tuple[float, float]]) -> float:
+    """Compute the G statistic from ``(observed, expected)`` pairs.
+
+    Pairs with ``observed == 0`` contribute nothing and may be omitted
+    (the sparse representation does omit them).  Expected values must be
+    positive for any cell with a positive observed count.
+    """
+    total = 0.0
+    for observed, expected in cells:
+        if observed < 0:
+            raise ValueError(f"observed count must be non-negative, got {observed}")
+        if observed == 0:
+            continue
+        if expected <= 0:
+            raise ValueError(
+                f"expected value must be positive where observed > 0, got {expected}"
+            )
+        total += observed * math.log(observed / expected)
+    return 2.0 * total

@@ -1,0 +1,117 @@
+"""Unit tests for the Apriori baseline."""
+
+import pytest
+
+from repro.algorithms.apriori import apriori, brute_force_frequent
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+
+@pytest.fixture
+def db():
+    return BasketDatabase.from_baskets(
+        [["a", "b", "c"]] * 4
+        + [["a", "b"]] * 3
+        + [["a", "c"]] * 2
+        + [["b"]] * 1
+        + [[]] * 2
+    )
+
+
+class TestApriori:
+    def test_counts_correct(self, db):
+        result = apriori(db, min_support_count=2)
+        a, b, c = (db.vocabulary.id_of(x) for x in "abc")
+        assert result.counts[Itemset([a])] == 9
+        assert result.counts[Itemset([a, b])] == 7
+        assert result.counts[Itemset([a, b, c])] == 4
+
+    def test_threshold_excludes(self, db):
+        result = apriori(db, min_support_count=5)
+        b, c = db.vocabulary.id_of("b"), db.vocabulary.id_of("c")
+        assert Itemset([b, c]) not in result  # count 4 < 5
+
+    def test_relative_support_threshold(self, db):
+        result = apriori(db, min_support=0.5)
+        # n=12, threshold 6: {a}=9, {b}=8, {c}=6, {ab}=7, {ac}=6, {bc}=4.
+        assert len(result.itemsets(1)) == 3
+        assert set(result.itemsets(2)) == {
+            db.vocabulary.encode(["a", "b"]),
+            db.vocabulary.encode(["a", "c"]),
+        }
+
+    def test_exactly_one_threshold_kind(self, db):
+        with pytest.raises(ValueError):
+            apriori(db)
+        with pytest.raises(ValueError):
+            apriori(db, min_support=0.5, min_support_count=2)
+
+    def test_invalid_thresholds(self, db):
+        with pytest.raises(ValueError):
+            apriori(db, min_support=0.0)
+        with pytest.raises(ValueError):
+            apriori(db, min_support=1.5)
+        with pytest.raises(ValueError):
+            apriori(db, min_support_count=0)
+
+    def test_max_size_cap(self, db):
+        result = apriori(db, min_support_count=2, max_size=2)
+        assert result.itemsets(3) == []
+        assert result.itemsets(2) != []
+
+    def test_level_stats_recorded(self, db):
+        result = apriori(db, min_support_count=2)
+        assert result.level_stats[0].level == 1
+        assert result.level_stats[0].frequent == 3
+        assert result.level_stats[1].candidates == 3
+
+    def test_support_accessor(self, db):
+        result = apriori(db, min_support_count=2)
+        a = db.vocabulary.encode(["a"])
+        assert result.support(a) == pytest.approx(9 / 12)
+
+    def test_downward_closure_of_output(self, db):
+        result = apriori(db, min_support_count=2)
+        for itemset in result.itemsets():
+            for subset in itemset.immediate_subsets():
+                if len(subset) >= 1:
+                    assert subset in result
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_hashtree_counting_matches_bitmap(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        baskets = [
+            [i for i in range(12) if rng.random() < 0.35] for _ in range(250)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=12)
+        bitmap = apriori(db, min_support_count=15)
+        hashtree = apriori(db, min_support_count=15, counting="hashtree")
+        assert bitmap.counts == hashtree.counts
+
+    def test_unknown_counting_rejected(self, db):
+        with pytest.raises(ValueError):
+            apriori(db, min_support_count=2, counting="psychic")
+
+    def test_matches_brute_force(self):
+        import random
+
+        rng = random.Random(13)
+        baskets = [
+            [i for i in range(6) if rng.random() < 0.4] for _ in range(120)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=6)
+        fast = apriori(db, min_support_count=8)
+        slow = brute_force_frequent(db, min_support_count=8)
+        assert fast.counts == slow
+
+    def test_empty_database(self):
+        db = BasketDatabase.from_baskets([])
+        result = apriori(db, min_support_count=1)
+        assert len(result) == 0
+
+    def test_all_baskets_empty(self):
+        db = BasketDatabase.from_baskets([[], [], []])
+        result = apriori(db, min_support_count=1)
+        assert len(result) == 0

@@ -1,0 +1,97 @@
+"""Unit tests for maximal and closed frequent itemsets."""
+
+import random
+
+import pytest
+
+from repro.algorithms.apriori import apriori
+from repro.algorithms.closed import closed_frequent, maximal_frequent, support_border
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+
+@pytest.fixture
+def db():
+    return BasketDatabase.from_baskets(
+        [["a", "b", "c"]] * 10
+        + [["a", "b"]] * 5
+        + [["a"]] * 5
+        + [["d"]] * 8
+        + [[]] * 2
+    )
+
+
+class TestMaximalFrequent:
+    def test_identifies_maximal_sets(self, db):
+        result = apriori(db, min_support_count=8)
+        maximal = maximal_frequent(result)
+        # {a,b,c} has count 10; d has 8; everything else is dominated.
+        assert Itemset([0, 1, 2]) in maximal
+        assert db.vocabulary.encode(["d"]) in maximal
+        assert Itemset([0, 1]) not in maximal
+
+    def test_every_frequent_dominated_by_a_maximal(self, db):
+        result = apriori(db, min_support_count=8)
+        maximal = maximal_frequent(result)
+        for itemset in result.itemsets():
+            assert any(itemset.issubset(m) for m in maximal)
+
+    def test_antichain(self, db):
+        result = apriori(db, min_support_count=8)
+        maximal = maximal_frequent(result)
+        for i, a in enumerate(maximal):
+            for b in maximal[i + 1:]:
+                assert not a.issubset(b) and not b.issubset(a)
+
+    def test_empty_result(self):
+        db = BasketDatabase.from_baskets([["a"]])
+        result = apriori(db, min_support_count=5)
+        assert maximal_frequent(result) == []
+
+
+class TestClosedFrequent:
+    def test_closed_sets_have_strict_superset_supports(self, db):
+        result = apriori(db, min_support_count=5)
+        closed = closed_frequent(result)
+        for itemset, count in closed.items():
+            for other, other_count in result.counts.items():
+                if itemset != other and itemset.issubset(other):
+                    assert other_count < count
+
+    def test_non_closed_excluded(self, db):
+        # {b} (count 15) always co-occurs with a: {a,b} also 15 -> b not closed.
+        result = apriori(db, min_support_count=5)
+        closed = closed_frequent(result)
+        b = db.vocabulary.encode(["b"])
+        ab = db.vocabulary.encode(["a", "b"])
+        assert b not in closed
+        assert ab in closed
+
+    def test_lossless_compression(self):
+        """Support of any frequent itemset = max count over closed supersets."""
+        rng = random.Random(9)
+        baskets = [
+            [i for i in range(5) if rng.random() < 0.45] for _ in range(200)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=5)
+        result = apriori(db, min_support_count=10)
+        closed = closed_frequent(result)
+        for itemset, count in result.counts.items():
+            recovered = max(
+                (c for s, c in closed.items() if itemset.issubset(s)), default=None
+            )
+            assert recovered == count
+
+    def test_maximal_subset_of_closed(self, db):
+        result = apriori(db, min_support_count=5)
+        closed = set(closed_frequent(result))
+        for itemset in maximal_frequent(result):
+            assert itemset in closed
+
+
+class TestSupportBorder:
+    def test_border_is_validated_antichain(self, db):
+        result = apriori(db, min_support_count=8)
+        border = support_border(result)
+        border.validate()
+        assert set(border.elements()) == set(maximal_frequent(result))

@@ -1,0 +1,101 @@
+"""Unit tests for negative implication mining."""
+
+import pytest
+
+from repro.algorithms.negative import mine_negative_implications
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+
+@pytest.fixture
+def battery_catfood_db():
+    """Batteries and cat food both common, almost never together."""
+    return BasketDatabase.from_baskets(
+        [["batteries"]] * 30
+        + [["catfood"]] * 30
+        + [["batteries", "catfood"]] * 1
+        + [["bread"]] * 20
+        + [["bread", "batteries"]] * 10
+        + [[]] * 9
+    )
+
+
+class TestMining:
+    def test_finds_planted_avoidance(self, battery_catfood_db):
+        db = battery_catfood_db
+        results = mine_negative_implications(db, min_item_count=20, max_cooccurrence=5)
+        found = {implication.itemset for implication in results}
+        assert db.vocabulary.encode(["batteries", "catfood"]) in found
+
+    def test_reports_counts_and_expectation(self, battery_catfood_db):
+        db = battery_catfood_db
+        results = mine_negative_implications(db, min_item_count=20, max_cooccurrence=5)
+        target = db.vocabulary.encode(["batteries", "catfood"])
+        implication = next(i for i in results if i.itemset == target)
+        assert implication.cooccurrences == 1
+        # E = 41 * 31 / 100.
+        assert implication.expected_cooccurrences == pytest.approx(41 * 31 / 100)
+        assert implication.p_value < 0.05
+        assert implication.fisher.odds_ratio < 1.0
+
+    def test_positive_dependence_excluded(self):
+        db = BasketDatabase.from_baskets(
+            [["a", "b"]] * 40 + [["a"]] * 10 + [["b"]] * 10 + [[]] * 40
+        )
+        results = mine_negative_implications(db, min_item_count=10, max_cooccurrence=100)
+        assert results == []
+
+    def test_independent_items_excluded(self):
+        db = BasketDatabase.from_baskets(
+            [["a", "b"]] * 25 + [["a"]] * 25 + [["b"]] * 25 + [[]] * 25
+        )
+        results = mine_negative_implications(db, min_item_count=10, max_cooccurrence=100)
+        assert results == []
+
+    def test_rare_items_not_considered(self, battery_catfood_db):
+        db = battery_catfood_db
+        results = mine_negative_implications(db, min_item_count=50, max_cooccurrence=5)
+        assert results == []  # nothing is that common
+
+    def test_cooccurrence_ceiling_respected(self, battery_catfood_db):
+        db = battery_catfood_db
+        results = mine_negative_implications(db, min_item_count=20, max_cooccurrence=0)
+        target = db.vocabulary.encode(["batteries", "catfood"])
+        assert target not in {implication.itemset for implication in results}
+
+    def test_sorted_by_p_value(self, battery_catfood_db):
+        results = mine_negative_implications(
+            battery_catfood_db, min_item_count=15, max_cooccurrence=10, significance=0.5
+        )
+        p_values = [implication.p_value for implication in results]
+        assert p_values == sorted(p_values)
+
+    def test_describe(self, battery_catfood_db):
+        db = battery_catfood_db
+        results = mine_negative_implications(db, min_item_count=20, max_cooccurrence=5)
+        text = results[0].describe(db.vocabulary)
+        assert "-/->" in text
+        assert "exact p=" in text
+
+    def test_validation(self, battery_catfood_db):
+        with pytest.raises(ValueError):
+            mine_negative_implications(battery_catfood_db, 0, 5)
+        with pytest.raises(ValueError):
+            mine_negative_implications(battery_catfood_db, 5, -1)
+        with pytest.raises(ValueError):
+            mine_negative_implications(battery_catfood_db, 5, 5, significance=1.0)
+        with pytest.raises(ValueError):
+            mine_negative_implications(BasketDatabase.from_baskets([]), 1, 1)
+
+    def test_valid_on_rare_events_where_chi2_is_not(self):
+        """The whole point: exact inference on the cells chi-squared
+        cannot handle (anti-support + chi-squared is forbidden in §4)."""
+        db = BasketDatabase.from_baskets(
+            [["wiring_type_x"]] * 12 + [["fire"]] * 12 + [[]] * 6
+        )
+        results = mine_negative_implications(db, min_item_count=10, max_cooccurrence=0)
+        # Zero co-occurrence of two common events in 30 baskets: the
+        # exact test certifies the avoidance.
+        assert len(results) == 1
+        assert results[0].cooccurrences == 0
+        assert results[0].p_value < 0.05

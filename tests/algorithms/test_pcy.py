@@ -1,0 +1,67 @@
+"""Unit tests for the PCY hash-based miner."""
+
+import random
+
+import pytest
+
+from repro.algorithms.apriori import apriori
+from repro.algorithms.pcy import pcy
+from repro.data.basket import BasketDatabase
+
+
+def random_db(seed=0, n=300, k=8):
+    rng = random.Random(seed)
+    baskets = [
+        [i for i in range(k) if rng.random() < 0.35] for _ in range(n)
+    ]
+    return BasketDatabase.from_id_baskets(baskets, n_items=k)
+
+
+class TestPCY:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_output_identical_to_apriori(self, seed):
+        """Collisions 'do not affect the final result' (paper §4)."""
+        db = random_db(seed=seed)
+        threshold = 20
+        assert pcy(db, threshold).counts == apriori(db, min_support_count=threshold).counts
+
+    def test_small_bucket_count_still_correct(self):
+        # Heavy collisions: pruning weakens but output stays exact.
+        db = random_db(seed=3)
+        assert (
+            pcy(db, 15, n_buckets=4).counts
+            == apriori(db, min_support_count=15).counts
+        )
+
+    def test_bucket_pruning_reduces_candidates(self):
+        db = random_db(seed=4, n=500, k=12)
+        few_buckets = pcy(db, 60, n_buckets=8)
+        many_buckets = pcy(db, 60, n_buckets=1 << 16)
+        level2 = lambda r: next(s for s in r.level_stats if s.level == 2)
+        assert level2(many_buckets).candidates <= level2(few_buckets).candidates
+        assert many_buckets.pairs_pruned_by_buckets >= few_buckets.pairs_pruned_by_buckets
+
+    def test_diagnostics_populated(self):
+        db = random_db()
+        result = pcy(db, 25, n_buckets=64)
+        assert result.n_buckets == 64
+        assert 0 <= result.frequent_buckets <= 64
+
+    def test_to_apriori_result_view(self):
+        db = random_db()
+        result = pcy(db, 25)
+        view = result.to_apriori_result()
+        assert view.counts == result.counts
+        assert view.n_baskets == db.n_baskets
+
+    def test_max_size_cap(self):
+        db = random_db(seed=6)
+        result = pcy(db, 10, max_size=2)
+        assert all(len(s) <= 2 for s in result.counts)
+
+    def test_validation(self):
+        db = random_db()
+        with pytest.raises(ValueError):
+            pcy(db, 0)
+        with pytest.raises(ValueError):
+            pcy(db, 5, n_buckets=0)

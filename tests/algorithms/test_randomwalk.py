@@ -1,0 +1,109 @@
+"""Unit tests for the random-walk border miner."""
+
+import pytest
+
+from repro.algorithms.chi2support import ChiSquaredSupportMiner
+from repro.algorithms.randomwalk import RandomWalkMiner
+from repro.core.correlation import CorrelationTest
+from repro.data.basket import BasketDatabase
+from repro.measures.cellsupport import CellSupport
+
+
+def planted_db(seed=0):
+    import random
+
+    rng = random.Random(seed)
+    baskets = []
+    for _ in range(400):
+        basket = set()
+        if rng.random() < 0.45:
+            basket |= {0, 1}
+        for item in range(2, 6):
+            if rng.random() < 0.35:
+                basket.add(item)
+        baskets.append(sorted(basket))
+    return BasketDatabase.from_id_baskets(baskets, n_items=6)
+
+
+class TestRandomWalk:
+    def test_finds_planted_border_element(self):
+        db = planted_db()
+        result = RandomWalkMiner(
+            support=CellSupport(5, 0.3), n_walks=300, seed=1
+        ).mine(db)
+        found = {r.itemset for r in result.rules}
+        assert db.vocabulary.encode(["item0", "item1"]) in found
+
+    def test_results_are_minimal(self):
+        db = planted_db()
+        test = CorrelationTest(0.95)
+        result = RandomWalkMiner(
+            support=CellSupport(5, 0.3), n_walks=300, seed=2
+        ).mine(db)
+        from repro.core.contingency import ContingencyTable
+
+        for rule in result.rules:
+            assert test.is_correlated(ContingencyTable.from_database(db, rule.itemset))
+            for subset in rule.itemset.immediate_subsets():
+                if len(subset) >= 2:
+                    assert not test.is_correlated(
+                        ContingencyTable.from_database(db, subset)
+                    )
+
+    def test_subset_of_levelwise_border(self):
+        """Sampling never invents border elements the exact miner lacks."""
+        db = planted_db(seed=3)
+        support = CellSupport(5, 0.3)
+        exact = ChiSquaredSupportMiner(support=support).mine(db)
+        sampled = RandomWalkMiner(support=support, n_walks=200, seed=4).mine(db)
+        exact_sets = {r.itemset for r in exact.rules}
+        for rule in sampled.rules:
+            # Random-walk minimisation ignores subset support, so it can
+            # land on a minimal-correlated set the level-wise miner never
+            # reached; but any set that IS reachable must be in the exact
+            # border.
+            if all(
+                subset in {s for s in exact.supported_uncorrelated}
+                for subset in rule.itemset.immediate_subsets()
+                if len(subset) >= 2
+            ) or len(rule.itemset) == 2:
+                assert rule.itemset in exact_sets
+
+    def test_deterministic_given_seed(self):
+        db = planted_db()
+        kwargs = dict(support=CellSupport(5, 0.3), n_walks=50, seed=9)
+        a = RandomWalkMiner(**kwargs).mine(db)
+        b = RandomWalkMiner(**kwargs).mine(db)
+        assert [r.itemset for r in a.rules] == [r.itemset for r in b.rules]
+
+    def test_max_statistic_prunes_obvious(self):
+        db = planted_db()
+        unfiltered = RandomWalkMiner(
+            support=CellSupport(5, 0.3), n_walks=200, seed=5
+        ).mine(db)
+        filtered = RandomWalkMiner(
+            support=CellSupport(5, 0.3), n_walks=200, seed=5, max_statistic=10.0
+        ).mine(db)
+        assert all(r.statistic <= 10.0 for r in filtered.rules)
+        assert len(filtered.rules) <= len(unfiltered.rules)
+
+    def test_counters(self):
+        db = planted_db()
+        result = RandomWalkMiner(support=CellSupport(5, 0.3), n_walks=40, seed=6).mine(db)
+        assert result.walks == 40
+        assert result.crossings + result.dead_ends <= 40 + result.crossings
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomWalkMiner(n_walks=0)
+        with pytest.raises(ValueError):
+            RandomWalkMiner(max_steps=0)
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkMiner().mine(BasketDatabase.from_baskets([]))
+
+    def test_single_item_universe_rejected(self):
+        db = BasketDatabase.from_baskets([["only"]])
+        with pytest.raises(ValueError):
+            RandomWalkMiner().mine(db)

@@ -1,0 +1,98 @@
+"""Unit tests for association-rule generation."""
+
+import pytest
+
+from repro.algorithms.apriori import apriori
+from repro.algorithms.rulegen import generate_rules, rules_for_itemset
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+
+@pytest.fixture
+def db(tea_coffee_db):
+    return tea_coffee_db
+
+
+class TestRulesForItemset:
+    def test_example1_tea_coffee_rule(self, db):
+        result = apriori(db, min_support_count=1)
+        itemset = db.vocabulary.encode(["tea", "coffee"])
+        rules = {
+            (r.antecedent, r.consequent): r
+            for r in rules_for_itemset(result, itemset, min_confidence=0.0)
+        }
+        tea = db.vocabulary.encode(["tea"])
+        coffee = db.vocabulary.encode(["coffee"])
+        rule = rules[(tea, coffee)]
+        assert rule.support == pytest.approx(0.20)
+        assert rule.confidence == pytest.approx(0.80)
+        assert rule.lift == pytest.approx(0.2 / (0.25 * 0.9))
+
+    def test_confidence_filter(self, db):
+        result = apriori(db, min_support_count=1)
+        itemset = db.vocabulary.encode(["tea", "coffee"])
+        rules = list(rules_for_itemset(result, itemset, min_confidence=0.5))
+        # tea => coffee has 0.8; coffee => tea has 2/9.
+        assert len(rules) == 1
+        assert rules[0].antecedent == db.vocabulary.encode(["tea"])
+
+    def test_infrequent_itemset_raises(self, db):
+        result = apriori(db, min_support_count=100)
+        with pytest.raises(KeyError):
+            list(rules_for_itemset(result, Itemset([0, 1]), 0.5))
+
+    def test_triple_partitions(self):
+        db = BasketDatabase.from_baskets(
+            [["a", "b", "c"]] * 6 + [["a", "b"]] * 2 + [["c"]] * 2
+        )
+        result = apriori(db, min_support_count=1)
+        rules = list(
+            rules_for_itemset(result, db.vocabulary.encode(["a", "b", "c"]), 0.0)
+        )
+        assert len(rules) == 6  # 2^3 - 2 partitions
+
+
+class TestGenerateRules:
+    def test_all_rules_pass_confidence(self, db):
+        result = apriori(db, min_support_count=1)
+        for rule in generate_rules(result, min_confidence=0.6):
+            assert rule.confidence >= 0.6
+
+    def test_example2_confidence_not_upward_closed(self):
+        """Reconstruct Example 2: c => d confident, {c,t} => d not."""
+        # Percentages from the paper: with doughnuts P[c and d] = 48,
+        # P[c] = 93; P[t and c and d] = 8, P[t and c] = 18.
+        baskets = (
+            [["c", "t", "d"]] * 8
+            + [["c", "d"]] * 40
+            + [["c", "t"]] * 10
+            + [["c"]] * 35
+            + [["d"]] * 4
+            + [[]] * 3
+        )
+        db = BasketDatabase.from_baskets(baskets)
+        result = apriori(db, min_support_count=1)
+        c = db.vocabulary.encode(["c"])
+        d = db.vocabulary.encode(["d"])
+        ct = db.vocabulary.encode(["c", "t"])
+        c_d = {
+            (r.antecedent, r.consequent): r.confidence
+            for r in generate_rules(result, min_confidence=0.01)
+        }
+        assert c_d[(c, d)] == pytest.approx(48 / 93, abs=1e-9)
+        assert c_d[(ct, d)] == pytest.approx(8 / 18, abs=1e-9)
+        # At the paper's 0.50 cutoff the subset rule passes, the superset fails.
+        assert c_d[(c, d)] >= 0.5
+        assert c_d[(ct, d)] < 0.5
+
+    def test_invalid_confidence(self, db):
+        result = apriori(db, min_support_count=1)
+        with pytest.raises(ValueError):
+            generate_rules(result, min_confidence=0.0)
+        with pytest.raises(ValueError):
+            generate_rules(result, min_confidence=1.2)
+
+    def test_singletons_produce_no_rules(self):
+        db = BasketDatabase.from_baskets([["a"], ["b"]])
+        result = apriori(db, min_support_count=1)
+        assert generate_rules(result, min_confidence=0.5) == []

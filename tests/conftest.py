@@ -1,0 +1,50 @@
+"""Shared fixtures: small reference databases and the (cached) census."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.basket import BasketDatabase
+from repro.data.census import synthesize_census
+
+
+@pytest.fixture
+def tea_coffee_db() -> BasketDatabase:
+    """Example 1's market baskets: 20% t&c, 70% c only, 5% t only, 5% neither."""
+    baskets = (
+        [["tea", "coffee"]] * 20
+        + [["coffee"]] * 70
+        + [["tea"]] * 5
+        + [[]] * 5
+    )
+    return BasketDatabase.from_baskets(baskets)
+
+
+@pytest.fixture
+def strongly_correlated_db() -> BasketDatabase:
+    """A pair with an unmistakable positive correlation."""
+    baskets = (
+        [["bread", "butter"]] * 45
+        + [["bread"]] * 5
+        + [["butter"]] * 5
+        + [[]] * 45
+    )
+    return BasketDatabase.from_baskets(baskets)
+
+
+@pytest.fixture
+def independent_db() -> BasketDatabase:
+    """Two items occurring exactly independently (p = 1/2 each)."""
+    baskets = (
+        [["a", "b"]] * 25
+        + [["a"]] * 25
+        + [["b"]] * 25
+        + [[]] * 25
+    )
+    return BasketDatabase.from_baskets(baskets)
+
+
+@pytest.fixture(scope="session")
+def census_db() -> BasketDatabase:
+    """The synthesized census (expensive enough to share across tests)."""
+    return synthesize_census()

@@ -1,0 +1,121 @@
+"""Unit tests for the Border antichain."""
+
+import pytest
+
+from repro.core.border import Border
+from repro.core.itemsets import Itemset
+
+
+class TestBorderConstruction:
+    def test_empty(self):
+        border = Border()
+        assert len(border) == 0
+        assert not border.covers(Itemset([1, 2]))
+
+    def test_add_returns_change_flag(self):
+        border = Border()
+        assert border.add(Itemset([1, 2]))
+        assert not border.add(Itemset([1, 2]))
+
+    def test_rejects_empty_itemset(self):
+        with pytest.raises(ValueError):
+            Border().add(Itemset([]))
+
+    def test_superset_ignored(self):
+        border = Border([Itemset([1, 2])])
+        assert not border.add(Itemset([1, 2, 3]))
+        assert len(border) == 1
+
+    def test_subset_evicts_supersets(self):
+        border = Border([Itemset([1, 2, 3]), Itemset([1, 2, 4])])
+        assert border.add(Itemset([1, 2]))
+        assert border.elements() == [Itemset([1, 2])]
+
+    def test_insertion_order_independent(self):
+        a = Border([Itemset([1, 2]), Itemset([1, 2, 3]), Itemset([4, 5])])
+        b = Border([Itemset([1, 2, 3]), Itemset([4, 5]), Itemset([1, 2])])
+        assert a == b
+
+    def test_incomparable_elements_coexist(self):
+        border = Border([Itemset([1, 2]), Itemset([2, 3])])
+        assert len(border) == 2
+
+
+class TestBorderQueries:
+    @pytest.fixture
+    def border(self):
+        return Border([Itemset([1, 2]), Itemset([3, 4, 5])])
+
+    def test_covers_element_itself(self, border):
+        assert border.covers(Itemset([1, 2]))
+
+    def test_covers_superset(self, border):
+        assert border.covers(Itemset([1, 2, 9]))
+        assert border.covers(Itemset([3, 4, 5, 6]))
+
+    def test_does_not_cover_below(self, border):
+        assert not border.covers(Itemset([1]))
+        assert not border.covers(Itemset([3, 4]))
+
+    def test_does_not_cover_incomparable(self, border):
+        assert not border.covers(Itemset([1, 3]))
+
+    def test_is_minimal(self, border):
+        assert border.is_minimal(Itemset([1, 2]))
+        assert not border.is_minimal(Itemset([1, 2, 3]))
+
+    def test_contains(self, border):
+        assert Itemset([1, 2]) in border
+        assert Itemset([1]) not in border
+
+    def test_iteration_sorted(self, border):
+        assert list(border) == [Itemset([1, 2]), Itemset([3, 4, 5])]
+
+    def test_levels(self, border):
+        levels = border.levels()
+        assert levels == {2: [Itemset([1, 2])], 3: [Itemset([3, 4, 5])]}
+
+
+class TestAddMinimal:
+    def test_behaves_like_add_for_antichain_input(self):
+        itemsets = [Itemset([1, 2]), Itemset([2, 3]), Itemset([4, 5, 6])]
+        fast = Border()
+        for s in itemsets:
+            fast.add_minimal(s)
+        assert fast == Border(itemsets)
+        fast.validate()
+
+    def test_duplicate_is_noop(self):
+        border = Border()
+        border.add_minimal(Itemset([1, 2]))
+        border.add_minimal(Itemset([1, 2]))
+        assert len(border) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Border().add_minimal(Itemset([]))
+
+    def test_trusts_caller_and_validate_catches_abuse(self):
+        border = Border()
+        border.add_minimal(Itemset([1, 2]))
+        border.add_minimal(Itemset([1, 2, 3]))  # caller lied
+        with pytest.raises(ValueError):
+            border.validate()
+
+
+class TestBorderValidation:
+    def test_validate_passes_for_antichain(self):
+        Border([Itemset([1, 2]), Itemset([2, 3])]).validate()
+
+    def test_validate_detects_corruption(self):
+        border = Border([Itemset([1, 2])])
+        border._elements.add(Itemset([1, 2, 3]))  # bypass add() deliberately
+        with pytest.raises(ValueError):
+            border.validate()
+
+    def test_upward_closed_semantics(self):
+        # Everything covered by the border plus one item stays covered.
+        border = Border([Itemset([0, 1]), Itemset([2, 3])])
+        for element in border:
+            for extra in range(6):
+                assert border.covers(element.add(extra))

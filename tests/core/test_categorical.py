@@ -1,0 +1,118 @@
+"""Unit tests for multi-valued contingency tables."""
+
+import math
+
+import pytest
+
+from repro.core.categorical import CategoricalTable, categorical_chi_squared_test
+
+
+@pytest.fixture
+def table_3x2():
+    # 3-category commute variable x 2-category marital variable.
+    table = CategoricalTable([3, 2])
+    counts = {
+        (0, 0): 30, (0, 1): 10,   # drives alone
+        (1, 0): 10, (1, 1): 20,   # carpools
+        (2, 0): 10, (2, 1): 20,   # does not drive
+    }
+    for cell, count in counts.items():
+        table.add(cell, count)
+    return table
+
+
+class TestConstruction:
+    def test_from_records(self):
+        table = CategoricalTable.from_records([2, 3], [(0, 0), (1, 2), (0, 0)])
+        assert table.observed((0, 0)) == 2
+        assert table.n == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalTable([])
+        with pytest.raises(ValueError):
+            CategoricalTable([1, 2])
+        table = CategoricalTable([2, 2])
+        with pytest.raises(ValueError):
+            table.add((0,))  # wrong arity
+        with pytest.raises(ValueError):
+            table.add((0, 5))  # out of range
+        with pytest.raises(ValueError):
+            table.add((0, 0), count=0)
+
+    def test_shape(self, table_3x2):
+        assert table_3x2.n_cells == 6
+        assert table_3x2.df == 2  # (3-1)(2-1)
+        assert table_3x2.n == 100
+
+
+class TestStatistics:
+    def test_expected_from_marginals(self, table_3x2):
+        # P(commute=0)=0.4, P(marital=0)=0.5 -> E = 20.
+        assert table_3x2.expected((0, 0)) == pytest.approx(20.0)
+
+    def test_chi_squared_matches_scipy(self, table_3x2):
+        stats = pytest.importorskip("scipy.stats")
+        import numpy as np
+
+        observed = np.array([[30, 10], [10, 20], [10, 20]])
+        expected_stat, expected_p, dof, _ = stats.chi2_contingency(observed, correction=False)
+        assert table_3x2.chi_squared() == pytest.approx(float(expected_stat), rel=1e-10)
+        result = categorical_chi_squared_test(table_3x2)
+        assert result.df == dof
+        assert result.p_value == pytest.approx(float(expected_p), rel=1e-8)
+
+    def test_independent_variables_insignificant(self):
+        table = CategoricalTable([2, 3])
+        for a in range(2):
+            for b in range(3):
+                table.add((a, b), 50)
+        result = categorical_chi_squared_test(table)
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert not result.correlated
+
+    def test_interest_directions(self, table_3x2):
+        assert table_3x2.interest((0, 0)) > 1.0  # drives-alone & married overrepresented
+        assert table_3x2.interest((0, 1)) < 1.0
+
+    def test_interest_nan_for_structural_zero(self):
+        table = CategoricalTable([2, 2])
+        table.add((0, 0), 10)
+        table.add((1, 0), 10)
+        # marital category 1 never occurs: E = 0 and O = 0.
+        assert math.isnan(table.interest((0, 1)))
+
+    def test_occupied_cells_sorted(self, table_3x2):
+        cells = table_3x2.occupied_cells()
+        assert cells == sorted(cells)
+        assert len(cells) == 6
+
+    def test_empty_table_rejected(self):
+        table = CategoricalTable([2, 2])
+        with pytest.raises(ValueError):
+            table.chi_squared()
+
+    def test_significance_cutoff_uses_df(self, table_3x2):
+        result95 = categorical_chi_squared_test(table_3x2, 0.95)
+        result99 = categorical_chi_squared_test(table_3x2, 0.99)
+        assert result99.cutoff > result95.cutoff > 3.84  # df=2 > df=1 cutoff
+
+    def test_invalid_significance(self, table_3x2):
+        with pytest.raises(ValueError):
+            categorical_chi_squared_test(table_3x2, 1.0)
+
+
+class TestThreeWay:
+    def test_three_variable_table(self):
+        table = CategoricalTable([2, 2, 3])
+        import random
+
+        rng = random.Random(1)
+        for _ in range(500):
+            a = rng.randrange(2)
+            b = a if rng.random() < 0.8 else 1 - a  # b tracks a
+            c = rng.randrange(3)
+            table.add((a, b, c))
+        result = categorical_chi_squared_test(table)
+        assert result.df == 2  # (2-1)(2-1)(3-1)
+        assert result.correlated  # a and b are strongly dependent

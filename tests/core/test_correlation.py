@@ -1,0 +1,238 @@
+"""Unit tests for the chi-squared correlation test."""
+
+import math
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import (
+    CorrelationTest,
+    chi_squared,
+    chi_squared_dense,
+    chi_squared_sparse,
+)
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+
+def table_2x2(o11, o01, o10, o00):
+    """Cells by presence pattern of (a, b): o11=ab, o01=a~b, o10=~ab, o00=~a~b."""
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+
+
+class TestStatistic:
+    def test_paper_example3_value(self):
+        # O(i8 i9)=1, O(i9 only)=2, O(i8 only)=4, neither=2 => chi2 = 0.900.
+        table = table_2x2(1, 4, 2, 2)
+        assert chi_squared(table) == pytest.approx(0.900, abs=5e-4)
+
+    def test_tea_coffee_example1(self):
+        table = ContingencyTable.from_percentages(
+            Itemset([0, 1]), {0b11: 20, 0b01: 5, 0b10: 70, 0b00: 5}, n=100
+        )
+        assert chi_squared(table) == pytest.approx(100.0 / 27.0, rel=1e-12)
+
+    def test_independent_table_is_zero(self):
+        table = table_2x2(25, 25, 25, 25)
+        assert chi_squared(table) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_correlation(self):
+        table = table_2x2(50, 0, 0, 50)
+        # phi = 1 -> chi2 = n.
+        assert chi_squared(table) == pytest.approx(100.0)
+
+    def test_scaling_linearity(self):
+        small = table_2x2(10, 5, 5, 10)
+        large = table_2x2(100, 50, 50, 100)
+        assert chi_squared(large) == pytest.approx(10 * chi_squared(small))
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        import numpy as np
+
+        observed = np.array([[13, 27], [41, 19]])
+        # scipy's axes: rows = a absent/present? build to our convention.
+        table = table_2x2(19, 41, 27, 13)
+        expected_stat = scipy_stats.chi2_contingency(observed, correction=False)[0]
+        assert chi_squared(table) == pytest.approx(expected_stat, rel=1e-12)
+
+    def test_three_way_statistic_nonnegative(self):
+        table = ContingencyTable(
+            Itemset([0, 1, 2]),
+            {0b111: 5, 0b110: 3, 0b101: 2, 0b011: 7, 0b000: 20, 0b001: 4},
+        )
+        assert chi_squared(table) >= 0.0
+
+
+class TestSparseDenseAgreement:
+    @pytest.mark.parametrize(
+        "counts",
+        [
+            {0b11: 20, 0b01: 5, 0b10: 70, 0b00: 5},
+            {0b11: 1, 0b00: 99},
+            {0b111: 10, 0b000: 10, 0b010: 5},
+            {0b101: 3, 0b011: 4, 0b110: 5, 0b000: 8},
+        ],
+    )
+    def test_sparse_equals_dense(self, counts):
+        size = max(counts).bit_length()
+        table = ContingencyTable(Itemset(range(max(size, 1))), counts)
+        assert chi_squared_sparse(table) == pytest.approx(
+            chi_squared_dense(table), rel=1e-9, abs=1e-9
+        )
+
+    def test_sparse_on_database_table(self):
+        db = BasketDatabase.from_baskets(
+            [["a", "b", "c"]] * 3 + [["a"]] * 4 + [["b", "c"]] * 5 + [[]] * 8
+        )
+        table = ContingencyTable.from_database(db, Itemset([0, 1, 2]))
+        assert chi_squared_sparse(table) == pytest.approx(chi_squared_dense(table))
+
+    def test_chi_squared_picks_sparse_for_sparse_table(self):
+        table = ContingencyTable(Itemset([0, 1, 2]), {0b111: 5, 0b000: 5})
+        # Degenerate marginals make dense evaluation blow up only if a
+        # positive observation sits on zero expectation; here expectations
+        # are fine, just check agreement.
+        assert chi_squared(table) == pytest.approx(chi_squared_dense(table))
+
+
+class TestDegenerateTables:
+    def test_structural_zero_dense_ok(self):
+        # Item 1 present in every basket: absent-cells have E = 0, O = 0.
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 30, 0b10: 70})
+        assert chi_squared_dense(table) == pytest.approx(0.0)
+
+    def test_observed_on_zero_expectation_raises(self):
+        # Marginal of item 1 is zero yet a cell claims it present:
+        # impossible from a real database, only via manual construction.
+        table = ContingencyTable(Itemset([0, 1]), {0b01: 10, 0b00: 10})
+        table._counts[0b11] = 1  # corrupt deliberately
+        with pytest.raises(ZeroDivisionError):
+            chi_squared_dense(table)
+
+
+class TestCorrelationTest:
+    def test_cutoff_95_df1(self):
+        assert CorrelationTest(0.95).cutoff == pytest.approx(3.841, abs=1e-3)
+
+    def test_decision_boundary(self):
+        test = CorrelationTest(0.95)
+        assert test.is_correlated(table_2x2(50, 0, 0, 50))
+        assert not test.is_correlated(table_2x2(25, 25, 25, 25))
+
+    def test_result_fields(self):
+        test = CorrelationTest(0.95)
+        result = test(table_2x2(40, 10, 10, 40))
+        assert result.correlated
+        assert result.statistic == pytest.approx(36.0)
+        assert 0.0 <= result.p_value < 0.05
+        assert result.cutoff == test.cutoff
+        assert result.reliable  # all expectations 25 > 5
+
+    def test_p_value_for_insignificant(self):
+        test = CorrelationTest(0.95)
+        result = test(table_2x2(26, 24, 24, 26))
+        assert not result.correlated
+        assert result.p_value > 0.05
+
+    def test_significance_level_changes_cutoff(self):
+        assert CorrelationTest(0.99).cutoff > CorrelationTest(0.95).cutoff
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            CorrelationTest(significance=1.0)
+        with pytest.raises(ValueError):
+            CorrelationTest(significance=0.0)
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            CorrelationTest(df=0)
+
+    def test_repr(self):
+        assert "0.95" in repr(CorrelationTest(0.95))
+
+    def test_statistic_method(self):
+        test = CorrelationTest()
+        table = table_2x2(40, 10, 10, 40)
+        assert test.statistic(table) == pytest.approx(36.0)
+
+
+class TestSmallCellPolicy:
+    """§3.3: 'we merely ignore cells with small expected value'."""
+
+    def test_equals_plain_statistic_with_zero_floor(self):
+        from repro.core.correlation import chi_squared_ignoring_small_cells
+
+        table = table_2x2(33, 17, 12, 38)
+        assert chi_squared_ignoring_small_cells(table, 0.0) == pytest.approx(
+            chi_squared_dense(table)
+        )
+
+    def test_drops_small_cells(self):
+        from repro.core.correlation import chi_squared_ignoring_small_cells
+
+        # Rare pair: E[ab] = 100 * 0.05 * 0.05 = 0.25 < 1.
+        table = table_2x2(5, 0, 0, 95)
+        full = chi_squared_dense(table)
+        truncated = chi_squared_ignoring_small_cells(table, 1.0)
+        assert truncated < full
+        # The small all-present cell carried nearly all the signal.
+        assert truncated < 0.5 * full
+
+    def test_negative_floor_rejected(self):
+        from repro.core.correlation import chi_squared_ignoring_small_cells
+
+        with pytest.raises(ValueError):
+            chi_squared_ignoring_small_cells(table_2x2(1, 1, 1, 1), -1.0)
+
+    def test_test_object_applies_floor(self):
+        table = table_2x2(5, 0, 0, 95)
+        plain = CorrelationTest(0.95)
+        floored = CorrelationTest(0.95, min_expected_cell=1.0)
+        assert floored.statistic(table) < plain.statistic(table)
+
+    def test_invalid_floor_rejected(self):
+        with pytest.raises(ValueError):
+            CorrelationTest(min_expected_cell=-0.5)
+
+    def test_miner_accepts_policy(self):
+        from repro.algorithms.chi2support import ChiSquaredSupportMiner
+        from repro.data.basket import BasketDatabase
+        from repro.measures.cellsupport import CellSupport
+
+        # The rare planted pair is significant without the floor and
+        # insignificant with it: its evidence lives in cells whose
+        # expectations fail the rule-of-thumb (E[ab] = 0.25, the absence
+        # cells 4.75 — all below Moore's 5-per-cell bar).
+        db = BasketDatabase.from_baskets(
+            [["rare1", "rare2"]] * 5 + [["common"]] * 95
+        )
+        support = CellSupport(count=1, fraction=0.3)
+        loose = ChiSquaredSupportMiner(support=support).mine(db)
+        strict = ChiSquaredSupportMiner(support=support, min_expected_cell=5.0).mine(db)
+        pair = db.vocabulary.encode(["rare1", "rare2"])
+        assert pair in {r.itemset for r in loose.rules}
+        assert pair not in {r.itemset for r in strict.rules}
+
+
+class TestUpwardClosureEmpirical:
+    """Theorem 1: adding an item never lowers the chi-squared value."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_triple_dominates_pair(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        baskets = []
+        for _ in range(400):
+            basket = [i for i in range(3) if rng.random() < 0.4]
+            # plant some correlation between 0 and 1
+            if 0 in basket and rng.random() < 0.5 and 1 not in basket:
+                basket.append(1)
+            baskets.append(basket)
+        db = BasketDatabase.from_id_baskets(baskets, n_items=3)
+        pair = chi_squared(ContingencyTable.from_database(db, Itemset([0, 1])))
+        triple = chi_squared(ContingencyTable.from_database(db, Itemset([0, 1, 2])))
+        assert triple >= pair - 1e-9

@@ -1,0 +1,93 @@
+"""Unit tests for the interest measure."""
+
+import math
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.interest import interest, interest_table, most_extreme_cell
+from repro.core.itemsets import Itemset
+
+
+def table_2x2(o11, o01, o10, o00):
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+
+
+class TestInterestValues:
+    def test_example1_tea_coffee(self):
+        # Paper: I(tea and coffee) = 0.2/(0.25*0.9) = 0.89.
+        table = table_2x2(20, 5, 70, 5)
+        assert interest(table, 0b11) == pytest.approx(0.2 / (0.25 * 0.9), rel=1e-12)
+
+    def test_independence_gives_one(self):
+        table = table_2x2(25, 25, 25, 25)
+        for cell in table.cells():
+            assert interest(table, cell) == pytest.approx(1.0)
+
+    def test_impossible_event_gives_zero(self):
+        # a and b never co-occur though both are common.
+        table = table_2x2(0, 50, 50, 0)
+        assert interest(table, 0b11) == 0.0
+
+    def test_structural_zero_gives_nan(self):
+        # Item 1 in every basket: absent cells have E = 0 and O = 0.
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 30, 0b10: 70})
+        assert math.isnan(interest(table, 0b00))
+
+    def test_positive_and_negative_direction(self):
+        table = table_2x2(40, 10, 10, 40)
+        assert interest(table, 0b11) > 1.0
+        assert interest(table, 0b01) < 1.0
+
+
+class TestInterestTable:
+    def test_covers_every_cell(self):
+        table = table_2x2(40, 10, 10, 40)
+        cells = interest_table(table)
+        assert [c.cell for c in cells] == [0, 1, 2, 3]
+
+    def test_contributions_sum_to_chi2(self):
+        table = table_2x2(33, 17, 12, 38)
+        cells = interest_table(table)
+        total = sum(c.chi2_contribution for c in cells)
+        assert total == pytest.approx(chi_squared(table), rel=1e-9)
+
+    def test_direction_labels(self):
+        table = table_2x2(40, 10, 10, 40)
+        by_cell = {c.cell: c for c in interest_table(table)}
+        assert by_cell[0b11].direction == "positive"
+        assert by_cell[0b01].direction == "negative"
+
+    def test_independent_direction(self):
+        table = table_2x2(25, 25, 25, 25)
+        assert all(c.direction == "independent" for c in interest_table(table))
+
+    def test_extremeness_is_sqrt_contribution(self):
+        table = table_2x2(33, 17, 12, 38)
+        for cell in interest_table(table):
+            assert cell.extremeness == pytest.approx(
+                math.sqrt(cell.chi2_contribution), rel=1e-9
+            )
+
+
+class TestMostExtremeCell:
+    def test_identifies_largest_contributor(self):
+        # Strong positive dependence in the both-present cell of a rare pair.
+        table = table_2x2(9, 1, 1, 89)
+        extreme = most_extreme_cell(table)
+        assert extreme.cell == 0b11
+        assert extreme.interest > 1.0
+
+    def test_paper_identity_extreme_interest_is_extreme_contribution(self):
+        # The cell maximising |I - 1| sqrt(E) maximises the contribution.
+        table = table_2x2(28, 22, 17, 33)
+        extreme = most_extreme_cell(table)
+        best = max(interest_table(table), key=lambda c: c.extremeness)
+        assert extreme.cell == best.cell
+
+    def test_pattern_exposed(self):
+        table = table_2x2(9, 1, 1, 89)
+        assert most_extreme_cell(table).pattern == (True, True)

@@ -1,0 +1,177 @@
+"""Unit tests for Itemset and ItemVocabulary."""
+
+import pytest
+
+from repro.core.itemsets import Itemset, ItemVocabulary, empty_itemset
+
+
+class TestItemsetConstruction:
+    def test_sorts_and_deduplicates(self):
+        assert Itemset([3, 1, 3, 2]).items == (1, 2, 3)
+
+    def test_empty(self):
+        assert len(Itemset()) == 0
+        assert empty_itemset() == Itemset([])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            Itemset([-1])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Itemset(["a"])  # type: ignore[list-item]
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Itemset([True])  # type: ignore[list-item]
+
+    def test_accepts_any_iterable(self):
+        assert Itemset(iter([2, 0])).items == (0, 2)
+
+
+class TestItemsetProtocol:
+    def test_len(self):
+        assert len(Itemset([5, 9])) == 2
+
+    def test_iter_order(self):
+        assert list(Itemset([9, 5])) == [5, 9]
+
+    def test_contains(self):
+        s = Itemset([1, 4])
+        assert 1 in s
+        assert 2 not in s
+
+    def test_indexing(self):
+        assert Itemset([7, 3])[0] == 3
+        assert Itemset([7, 3])[1] == 7
+
+    def test_hashable_and_equal(self):
+        assert hash(Itemset([1, 2])) == hash(Itemset([2, 1]))
+        assert Itemset([1, 2]) == Itemset([2, 1])
+        assert Itemset([1]) != Itemset([2])
+
+    def test_equality_with_other_types(self):
+        assert Itemset([1]) != (1,)
+        assert (Itemset([1]) == 5) is False
+
+    def test_ordering_by_size_then_lex(self):
+        assert sorted([Itemset([9]), Itemset([1, 2]), Itemset([2])]) == [
+            Itemset([2]),
+            Itemset([9]),
+            Itemset([1, 2]),
+        ]
+
+    def test_le_reflexive(self):
+        assert Itemset([1, 2]) <= Itemset([1, 2])
+
+    def test_repr(self):
+        assert repr(Itemset([2, 1])) == "Itemset(1, 2)"
+
+
+class TestItemsetAlgebra:
+    def test_union(self):
+        assert Itemset([1]) | Itemset([2]) == Itemset([1, 2])
+
+    def test_union_with_plain_iterable(self):
+        assert Itemset([1]).union([2, 3]) == Itemset([1, 2, 3])
+
+    def test_difference(self):
+        assert Itemset([1, 2, 3]) - Itemset([2]) == Itemset([1, 3])
+
+    def test_intersection(self):
+        assert Itemset([1, 2, 3]) & Itemset([2, 3, 4]) == Itemset([2, 3])
+
+    def test_add(self):
+        assert Itemset([1]).add(3) == Itemset([1, 3])
+
+    def test_add_existing_is_noop(self):
+        assert Itemset([1, 3]).add(3) == Itemset([1, 3])
+
+    def test_remove(self):
+        assert Itemset([1, 3]).remove(3) == Itemset([1])
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Itemset([1]).remove(2)
+
+    def test_issubset(self):
+        assert Itemset([1]).issubset(Itemset([1, 2]))
+        assert not Itemset([1, 3]).issubset(Itemset([1, 2]))
+        assert Itemset([]).issubset(Itemset([1]))
+
+    def test_issuperset(self):
+        assert Itemset([1, 2]).issuperset(Itemset([2]))
+        assert Itemset([1, 2]).issuperset([])
+
+    def test_issubset_of_iterable(self):
+        assert Itemset([1]).issubset({1, 5})
+
+
+class TestItemsetLattice:
+    def test_subsets_all(self):
+        subs = list(Itemset([1, 2]).subsets())
+        assert subs == [Itemset([]), Itemset([1]), Itemset([2])]
+
+    def test_subsets_of_size(self):
+        subs = set(Itemset([1, 2, 3]).subsets(2))
+        assert subs == {Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])}
+
+    def test_subsets_of_full_size_empty(self):
+        assert list(Itemset([1, 2]).subsets(2)) == []
+
+    def test_immediate_subsets(self):
+        subs = set(Itemset([1, 2, 3]).immediate_subsets())
+        assert subs == {Itemset([1, 2]), Itemset([1, 3]), Itemset([2, 3])}
+
+    def test_immediate_supersets(self):
+        sups = set(Itemset([1]).immediate_supersets([1, 2, 3]))
+        assert sups == {Itemset([1, 2]), Itemset([1, 3])}
+
+    def test_immediate_supersets_skips_present(self):
+        assert list(Itemset([1, 2]).immediate_supersets([1, 2])) == []
+
+
+class TestItemVocabulary:
+    def test_add_assigns_dense_ids(self):
+        vocab = ItemVocabulary()
+        assert vocab.add("tea") == 0
+        assert vocab.add("coffee") == 1
+
+    def test_add_is_idempotent(self):
+        vocab = ItemVocabulary(["tea"])
+        assert vocab.add("tea") == 0
+        assert len(vocab) == 1
+
+    def test_constructor_registration(self):
+        vocab = ItemVocabulary(["a", "b"])
+        assert vocab.id_of("b") == 1
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            ItemVocabulary().id_of("nope")
+
+    def test_name_of(self):
+        vocab = ItemVocabulary(["x"])
+        assert vocab.name_of(0) == "x"
+
+    def test_name_of_out_of_range(self):
+        vocab = ItemVocabulary(["x"])
+        with pytest.raises(IndexError):
+            vocab.name_of(1)
+        with pytest.raises(IndexError):
+            vocab.name_of(-1)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = ItemVocabulary(["a", "b", "c"])
+        itemset = vocab.encode(["c", "a"])
+        assert itemset == Itemset([0, 2])
+        assert vocab.decode(itemset) == ("a", "c")
+
+    def test_contains_and_iter(self):
+        vocab = ItemVocabulary(["a", "b"])
+        assert "a" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["a", "b"]
+
+    def test_ids_range(self):
+        assert list(ItemVocabulary(["a", "b"]).ids()) == [0, 1]

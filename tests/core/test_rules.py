@@ -1,0 +1,87 @@
+"""Unit tests for rule objects."""
+
+import math
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import CorrelationTest
+from repro.core.itemsets import Itemset, ItemVocabulary
+from repro.core.rules import AssociationRule, CorrelationRule, format_cell
+
+
+@pytest.fixture
+def vocabulary():
+    return ItemVocabulary(["tea", "coffee", "doughnut"])
+
+
+@pytest.fixture
+def correlated_rule():
+    table = ContingencyTable(
+        Itemset([0, 1]), {0b11: 40, 0b01: 10, 0b10: 10, 0b00: 40}
+    )
+    result = CorrelationTest(0.95)(table)
+    return CorrelationRule(itemset=Itemset([0, 1]), result=result, table=table)
+
+
+class TestFormatCell:
+    def test_present_and_absent(self, vocabulary):
+        text = format_cell(Itemset([0, 1]), (True, False), vocabulary)
+        assert text == "tea ~coffee"
+
+    def test_without_vocabulary(self):
+        assert format_cell(Itemset([3, 5]), (False, True)) == "~i3 i5"
+
+
+class TestCorrelationRule:
+    def test_statistic_and_p_value_passthrough(self, correlated_rule):
+        assert correlated_rule.statistic == pytest.approx(36.0)
+        assert correlated_rule.p_value < 0.05
+
+    def test_interests_cover_all_cells(self, correlated_rule):
+        assert len(correlated_rule.interests()) == 4
+
+    def test_major_dependence(self, correlated_rule):
+        major = correlated_rule.major_dependence()
+        assert major.cell in (0b11, 0b00)  # symmetric table
+
+    def test_describe_with_vocabulary(self, correlated_rule, vocabulary):
+        text = correlated_rule.describe(vocabulary)
+        assert "tea coffee" in text
+        assert "chi2=36.000" in text
+
+    def test_describe_without_vocabulary(self, correlated_rule):
+        assert "i0 i1" in correlated_rule.describe()
+
+
+class TestAssociationRule:
+    def test_valid_rule(self):
+        rule = AssociationRule(
+            antecedent=Itemset([0]),
+            consequent=Itemset([1]),
+            support=0.2,
+            confidence=0.8,
+        )
+        assert rule.passes(0.1, 0.5)
+        assert not rule.passes(0.3, 0.5)
+        assert not rule.passes(0.1, 0.9)
+
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ValueError):
+            AssociationRule(Itemset([0, 1]), Itemset([1]), 0.1, 0.5)
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ValueError):
+            AssociationRule(Itemset([]), Itemset([1]), 0.1, 0.5)
+        with pytest.raises(ValueError):
+            AssociationRule(Itemset([0]), Itemset([]), 0.1, 0.5)
+
+    def test_describe(self, vocabulary):
+        rule = AssociationRule(Itemset([0]), Itemset([1]), 0.2, 0.8, lift=0.89)
+        text = rule.describe(vocabulary)
+        assert text.startswith("tea => coffee")
+        assert "lift=0.890" in text
+
+    def test_describe_without_lift(self):
+        rule = AssociationRule(Itemset([0]), Itemset([1]), 0.2, 0.8)
+        assert "lift" not in rule.describe()

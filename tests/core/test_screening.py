@@ -1,0 +1,59 @@
+"""Unit tests for pairwise correlation screening."""
+
+import math
+
+import pytest
+
+from repro.core.itemsets import Itemset
+from repro.core.screening import pairwise_screen
+from repro.data.basket import BasketDatabase
+
+
+class TestPairwiseScreen:
+    def test_covers_all_pairs(self, census_db):
+        rows = pairwise_screen(census_db)
+        assert len(rows) == 45
+        assert [row.itemset for row in rows] == sorted(row.itemset for row in rows)
+
+    def test_matches_table2_reference(self, census_db):
+        from repro.data.census import TABLE2_CHI2
+
+        rows = {tuple(row.itemset.items): row for row in pairwise_screen(census_db)}
+        agree = sum(
+            1
+            for pair, paper in TABLE2_CHI2.items()
+            if rows[pair].correlated == (paper >= 3.8414588)
+        )
+        assert agree >= 44
+
+    def test_interest_ordering_convention(self, tea_coffee_db):
+        rows = pairwise_screen(tea_coffee_db)
+        row = rows[0]
+        # tea is item 0, coffee item 1: I(ab) = 0.889 (Example 1).
+        assert row.interests[0] == pytest.approx(0.889, abs=0.001)
+
+    def test_item_subset(self, census_db):
+        rows = pairwise_screen(census_db, items=[2, 7, 9])
+        assert [row.itemset for row in rows] == [
+            Itemset([2, 7]),
+            Itemset([2, 9]),
+            Itemset([7, 9]),
+        ]
+
+    def test_significance_level_respected(self, census_db):
+        loose = {r.itemset for r in pairwise_screen(census_db, significance=0.95) if r.correlated}
+        strict = {r.itemset for r in pairwise_screen(census_db, significance=0.9999) if r.correlated}
+        assert strict <= loose
+
+    def test_structural_zero_interest(self, census_db):
+        rows = {tuple(r.itemset.items): r for r in pairwise_screen(census_db)}
+        # i4 (not citizen) & i5 (born in US): impossible => interest 0.
+        assert rows[(4, 5)].interests[0] == 0.0
+
+    def test_most_extreme_interest(self, census_db):
+        rows = {tuple(r.itemset.items): r for r in pairwise_screen(census_db)}
+        assert rows[(4, 5)].most_extreme_interest == 0.0  # the impossible cell
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_screen(BasketDatabase.from_baskets([]))

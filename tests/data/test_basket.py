@@ -1,0 +1,167 @@
+"""Unit tests for BasketDatabase."""
+
+import pytest
+
+from repro.core.itemsets import Itemset, ItemVocabulary
+from repro.data.basket import BasketDatabase
+
+
+@pytest.fixture
+def db():
+    return BasketDatabase.from_baskets(
+        [["a", "b"], ["b", "c"], ["a"], [], ["a", "b", "c"]]
+    )
+
+
+class TestConstruction:
+    def test_from_baskets_builds_vocabulary(self, db):
+        assert db.n_items == 3
+        assert db.vocabulary.id_of("a") == 0
+
+    def test_from_baskets_shared_vocabulary(self):
+        vocab = ItemVocabulary(["x", "y"])
+        db = BasketDatabase.from_baskets([["y"]], vocabulary=vocab)
+        assert db[0] == (1,)
+
+    def test_from_baskets_dedupes_within_basket(self):
+        db = BasketDatabase.from_baskets([["a", "a", "b"]])
+        assert db[0] == (0, 1)
+
+    def test_from_id_baskets(self):
+        db = BasketDatabase.from_id_baskets([[2, 0], [1]], n_items=4)
+        assert db.n_items == 4
+        assert db[0] == (0, 2)
+        assert db.vocabulary.name_of(3) == "item3"
+
+    def test_from_id_baskets_infers_size(self):
+        db = BasketDatabase.from_id_baskets([[5]])
+        assert db.n_items == 6
+
+    def test_from_id_baskets_vocabulary_too_small(self):
+        vocab = ItemVocabulary(["only"])
+        with pytest.raises(ValueError):
+            BasketDatabase.from_id_baskets([[3]], vocabulary=vocab)
+
+    def test_from_id_baskets_n_items_conflict(self):
+        vocab = ItemVocabulary(["a", "b"])
+        with pytest.raises(ValueError):
+            BasketDatabase.from_id_baskets([[0]], n_items=5, vocabulary=vocab)
+
+
+class TestBooleanMatrix:
+    def test_roundtrip(self, db):
+        matrix = db.to_boolean_matrix()
+        rebuilt = BasketDatabase.from_boolean_matrix(
+            matrix, item_names=list(db.vocabulary)
+        )
+        assert list(rebuilt) == list(db)
+        assert list(rebuilt.vocabulary) == list(db.vocabulary)
+
+    def test_matrix_shape_and_values(self, db):
+        matrix = db.to_boolean_matrix()
+        assert matrix.shape == (5, 3)
+        assert matrix[0].tolist() == [True, True, False]
+        assert matrix[3].tolist() == [False, False, False]
+
+    def test_from_matrix_default_names(self):
+        db = BasketDatabase.from_boolean_matrix([[True, False], [False, True]])
+        assert db.basket_names(0) == ("item0",)
+
+    def test_from_matrix_validation(self):
+        with pytest.raises(ValueError):
+            BasketDatabase.from_boolean_matrix([True, False])  # 1-D
+        with pytest.raises(ValueError):
+            BasketDatabase.from_boolean_matrix([[True]], item_names=["a", "b"])
+
+    def test_mining_from_matrix(self):
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        first = rng.random(300) < 0.5
+        second = first ^ (rng.random(300) < 0.1)  # mostly copies of first
+        noise = rng.random(300) < 0.4
+        matrix = np.stack([first, second, noise], axis=1)
+        db = BasketDatabase.from_boolean_matrix(matrix, item_names=["a", "b", "n"])
+        from repro.core.mining import correlation_rule
+
+        rule = correlation_rule(db, ["a", "b"])
+        assert rule.result.correlated
+
+
+class TestAccessors:
+    def test_len_and_iter(self, db):
+        assert len(db) == 5
+        assert list(db)[2] == (0,)
+
+    def test_basket_names(self, db):
+        assert db.basket_names(4) == ("a", "b", "c")
+
+    def test_empty_basket_preserved(self, db):
+        assert db[3] == ()
+
+
+class TestCounts:
+    def test_item_count(self, db):
+        assert db.item_count(0) == 3  # a
+        assert db.item_count(1) == 3  # b
+        assert db.item_count(2) == 2  # c
+
+    def test_item_counts_tuple(self, db):
+        assert db.item_counts() == (3, 3, 2)
+
+    def test_support_count_pair(self, db):
+        assert db.support_count(Itemset([0, 1])) == 2
+        assert db.support_count(Itemset([0, 2])) == 1
+
+    def test_support_count_empty_itemset(self, db):
+        assert db.support_count(Itemset([])) == 5
+
+    def test_support_fraction(self, db):
+        assert db.support(Itemset([0, 1])) == pytest.approx(0.4)
+
+    def test_support_on_empty_db_rejected(self):
+        db = BasketDatabase.from_baskets([])
+        with pytest.raises(ValueError):
+            db.support(Itemset([0]))
+
+    def test_support_accepts_plain_iterables(self, db):
+        assert db.support_count([0, 1]) == 2
+
+
+class TestBitmaps:
+    def test_item_bitmap_bits(self, db):
+        bitmap = db.item_bitmap(0)  # a in baskets 0, 2, 4
+        assert bitmap == (1 << 0) | (1 << 2) | (1 << 4)
+
+    def test_itemset_bitmap_intersection(self, db):
+        bitmap = db.itemset_bitmap(Itemset([0, 1]))
+        assert bitmap == (1 << 0) | (1 << 4)
+
+    def test_empty_itemset_bitmap_all_ones(self, db):
+        assert db.itemset_bitmap(Itemset([])) == (1 << 5) - 1
+
+    def test_bitmap_consistency_large(self):
+        import random
+
+        rng = random.Random(5)
+        baskets = [
+            [i for i in range(10) if rng.random() < 0.3] for _ in range(1000)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=10)
+        for item in range(10):
+            count = sum(1 for basket in baskets if item in basket)
+            assert db.item_count(item) == count
+            assert db.item_bitmap(item).bit_count() == count
+
+
+class TestDerivedDatabases:
+    def test_restricted_to(self, db):
+        restricted = db.restricted_to([0, 2])
+        assert restricted[0] == (0,)  # b dropped
+        assert restricted[4] == (0, 2)
+        assert restricted.n_baskets == 5
+
+    def test_sample(self, db):
+        sampled = db.sample([0, 4])
+        assert sampled.n_baskets == 2
+        assert sampled[1] == (0, 1, 2)

@@ -1,0 +1,159 @@
+"""Unit tests for the reconstructed census dataset."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset
+from repro.data.census import (
+    CENSUS_ATTRIBUTES,
+    PAPER_N,
+    TABLE2_CHI2,
+    TABLE3_SUPPORT_PERCENTAGES,
+    census_vocabulary,
+    example3_sample,
+    pairwise_targets,
+)
+
+
+class TestSchema:
+    def test_ten_attributes(self):
+        assert len(CENSUS_ATTRIBUTES) == 10
+        assert CENSUS_ATTRIBUTES[7].attribute == "no more than 40 years old"
+
+    def test_vocabulary_order(self):
+        vocab = census_vocabulary()
+        assert vocab.id_of("i0") == 0
+        assert vocab.id_of("i9") == 9
+
+    def test_table3_has_all_45_pairs(self):
+        assert len(TABLE3_SUPPORT_PERCENTAGES) == 45
+        assert set(TABLE3_SUPPORT_PERCENTAGES) == {
+            (a, b) for a in range(10) for b in range(a + 1, 10)
+        }
+
+    def test_table3_rows_sum_to_100(self):
+        for pair, cells in TABLE3_SUPPORT_PERCENTAGES.items():
+            assert sum(cells) == pytest.approx(100.0, abs=0.35), pair
+
+    def test_table3_marginals_consistent_across_pairs(self):
+        # P(a) derived from any row mentioning a must agree to rounding.
+        marginals: dict[int, list[float]] = {}
+        for (a, b), (s_ab, s_nab, s_anb, s_nanb) in TABLE3_SUPPORT_PERCENTAGES.items():
+            marginals.setdefault(a, []).append(s_ab + s_anb)
+            marginals.setdefault(b, []).append(s_ab + s_nab)
+        for item, values in marginals.items():
+            assert max(values) - min(values) < 0.35, item
+
+    def test_table2_has_all_45_pairs(self):
+        assert len(TABLE2_CHI2) == 45
+
+
+class TestSynthesizedCensus:
+    def test_size(self, census_db):
+        assert census_db.n_baskets == PAPER_N
+        assert census_db.n_items == 10
+
+    def test_pairwise_tables_match_paper(self, census_db):
+        """Every pair's cell percentages within rounding of Table 3."""
+        for (a, b), (s_ab, s_nab, s_anb, s_nanb) in TABLE3_SUPPORT_PERCENTAGES.items():
+            table = ContingencyTable.from_database(census_db, Itemset([a, b]))
+            n = census_db.n_baskets
+            assert table.observed(0b11) / n * 100 == pytest.approx(s_ab, abs=0.3)
+            assert table.observed(0b10) / n * 100 == pytest.approx(s_nab, abs=0.3)
+            assert table.observed(0b01) / n * 100 == pytest.approx(s_anb, abs=0.3)
+            assert table.observed(0b00) / n * 100 == pytest.approx(s_nanb, abs=0.3)
+
+    def test_structural_zeros(self, census_db):
+        # Male with 3+ children borne: impossible (paper: interest 0.000).
+        i1 = census_db.vocabulary.id_of("i1")
+        i8 = census_db.vocabulary.id_of("i8")
+        table = ContingencyTable.from_database(census_db, Itemset([i1, i8]))
+        assert table.observed(0b10) == 0  # ~i1 (3+ children) and i8 (male)
+        # Not-a-citizen yet born in the US: impossible.
+        table45 = ContingencyTable.from_database(census_db, Itemset([4, 5]))
+        assert table45.observed(0b11) == 0
+
+    def test_significance_agreement_with_table2(self, census_db):
+        """Significance decisions match the paper on at least 44/45 pairs.
+
+        The one borderline pair (i0, i4: paper 4.57 vs cutoff 3.84) can
+        fall either side under Table 3's 0.1%-rounding noise.
+        """
+        agree = 0
+        for (a, b), paper_value in TABLE2_CHI2.items():
+            table = ContingencyTable.from_database(census_db, Itemset([a, b]))
+            ours = chi_squared(table)
+            if (ours >= 3.8414588) == (paper_value >= 3.8414588):
+                agree += 1
+        assert agree >= 44
+
+    def test_chi2_magnitudes_track_paper(self, census_db):
+        """Large published statistics reproduce within a few percent."""
+        for (a, b), paper_value in TABLE2_CHI2.items():
+            if paper_value < 50:
+                continue  # small values are dominated by rounding noise
+            table = ContingencyTable.from_database(census_db, Itemset([a, b]))
+            ours = chi_squared(table)
+            assert ours == pytest.approx(paper_value, rel=0.15), (a, b)
+
+    @pytest.mark.parametrize(
+        "pair,paper_interests",
+        [
+            # Rows of Table 2 that are cleanly legible in the source:
+            # (I(ab), I(~a b), I(a ~b), I(~a ~b)).
+            ((4, 5), (0.000, 1.071, 9.602, 0.391)),
+            ((6, 9), (1.163, 0.945, 0.888, 1.038)),
+            ((0, 1), (1.025, 0.995, 0.773, 1.050)),
+        ],
+    )
+    def test_table2_interest_anchors(self, census_db, pair, paper_interests):
+        """Published interest values reproduce to ~0.01."""
+        a, b = pair
+        table = ContingencyTable.from_database(census_db, Itemset([a, b]))
+
+        def cell_interest(pattern):
+            cell = table.cell_of_pattern(pattern)
+            expected = table.expected(cell)
+            return table.observed(cell) / expected if expected else float("nan")
+
+        ours = (
+            cell_interest((True, True)),
+            cell_interest((False, True)),
+            cell_interest((True, False)),
+            cell_interest((False, False)),
+        )
+        for measured, published in zip(ours, paper_interests):
+            assert measured == pytest.approx(published, abs=0.02)
+
+    def test_example4_military_age(self, census_db):
+        """chi2(i2, i7) ~ 2006.34 and is significant (paper Example 4)."""
+        table = ContingencyTable.from_database(census_db, Itemset([2, 7]))
+        value = chi_squared(table)
+        assert value == pytest.approx(2006.34, rel=0.05)
+        assert value > 3.84
+
+
+class TestExample3Sample:
+    def test_nine_baskets(self):
+        db = example3_sample()
+        assert db.n_baskets == 9
+
+    def test_documented_pattern_count(self):
+        # O(i1 i2 i3 ~i4 i5 ~i6 i7 ~i8 i9) = 2 (persons 1 and 5).
+        db = example3_sample()
+        pattern = (1, 2, 3, 5, 7, 9)
+        assert sum(1 for basket in db if basket == pattern) == 2
+
+    def test_marginals_match_example(self):
+        db = example3_sample()
+        assert db.item_count(8) == 5
+        assert db.item_count(9) == 3
+        assert db.support_count(Itemset([8, 9])) == 1
+
+    def test_chi2_is_0_900(self):
+        db = example3_sample()
+        table = ContingencyTable.from_database(db, Itemset([8, 9]))
+        assert chi_squared(table) == pytest.approx(0.900, abs=5e-4)
+        # Paper: not significant at 95%.
+        assert chi_squared(table) < 3.84

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic news corpus generator."""
+
+import pytest
+
+from repro.data.corpusgen import (
+    PLANTED_TOPICS,
+    NewsCorpusParameters,
+    generate_news_corpus,
+)
+from repro.data.text import TextPipeline, tokenize
+
+
+class TestParameters:
+    def test_defaults_match_paper_shape(self):
+        params = NewsCorpusParameters()
+        assert params.n_documents == 91
+        assert params.min_words == 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NewsCorpusParameters(n_documents=0)
+        with pytest.raises(ValueError):
+            NewsCorpusParameters(min_words=10, max_words=5)
+        with pytest.raises(ValueError):
+            NewsCorpusParameters(two_topic_probability=2.0)
+
+
+class TestGeneration:
+    def test_document_count_and_length(self):
+        docs = generate_news_corpus()
+        assert len(docs) == 91
+        assert all(len(tokenize(doc)) >= 200 for doc in docs)
+
+    def test_deterministic(self):
+        assert generate_news_corpus() == generate_news_corpus()
+
+    def test_seed_changes_output(self):
+        other = generate_news_corpus(NewsCorpusParameters(seed=2024))
+        assert other != generate_news_corpus()
+
+    def test_planted_words_present(self):
+        text = " ".join(generate_news_corpus())
+        for topic in PLANTED_TOPICS:
+            for word in topic.words:
+                assert word in text
+
+    def test_pipeline_keeps_planted_markers(self):
+        db = TextPipeline().run(generate_news_corpus())
+        assert db.n_baskets == 91
+        # mandela and nelson both survive the 10% df pruning.
+        assert "mandela" in db.vocabulary
+        assert "nelson" in db.vocabulary
+
+    def test_mandela_nelson_correlated(self):
+        """The headline Table 4 pair emerges from the generator."""
+        from repro.core.contingency import ContingencyTable
+        from repro.core.correlation import chi_squared
+
+        db = TextPipeline().run(generate_news_corpus())
+        itemset = db.vocabulary.encode(["mandela", "nelson"])
+        value = chi_squared(ContingencyTable.from_database(db, itemset))
+        assert value > 3.84

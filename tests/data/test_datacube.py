@@ -1,0 +1,98 @@
+"""Unit tests for the count datacube (§6 connection)."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.data.datacube import CountDatacube
+
+
+@pytest.fixture
+def db():
+    return BasketDatabase.from_baskets(
+        [["a", "b"], ["a", "b", "c"], ["a"], ["b"], ["b", "c"], ["c"], [], ["a", "c"]]
+    )
+
+
+class TestConstruction:
+    def test_dimensions_sorted_deduped(self, db):
+        cube = CountDatacube(db, [2, 0, 2])
+        assert cube.dimensions == (0, 2)
+
+    def test_rejects_empty_dimensions(self, db):
+        with pytest.raises(ValueError):
+            CountDatacube(db, [])
+
+    def test_rejects_unknown_item(self, db):
+        with pytest.raises(ValueError):
+            CountDatacube(db, [0, 99])
+
+    def test_occupied_bounded(self, db):
+        cube = CountDatacube(db, [0, 1, 2])
+        assert cube.n_occupied <= min(db.n_baskets, 8)
+        assert cube.n == db.n_baskets
+
+
+class TestQueries:
+    def test_full_pattern_count(self, db):
+        cube = CountDatacube(db, [0, 1, 2])
+        assert cube.count({0: True, 1: True, 2: True}) == 1
+        assert cube.count({0: False, 1: False, 2: False}) == 1
+
+    def test_partial_pattern_marginalises(self, db):
+        cube = CountDatacube(db, [0, 1, 2])
+        assert cube.count({0: True}) == db.item_count(0)
+        assert cube.count({0: True, 1: False}) == 2  # baskets {a}, {a,c}
+
+    def test_support_count_matches_database(self, db):
+        cube = CountDatacube(db, [0, 1, 2])
+        for items in ([0], [0, 1], [1, 2], [0, 1, 2]):
+            assert cube.support_count(Itemset(items)) == db.support_count(Itemset(items))
+
+    def test_unknown_pattern_item_raises(self, db):
+        cube = CountDatacube(db, [0, 1])
+        with pytest.raises(KeyError):
+            cube.count({2: True})
+
+
+class TestRollUp:
+    def test_table_for_matches_direct_construction(self, db):
+        cube = CountDatacube(db, [0, 1, 2])
+        for items in ([0, 1], [1, 2], [0, 1, 2], [0]):
+            itemset = Itemset(items)
+            rolled = cube.table_for(itemset)
+            direct = ContingencyTable.from_database(db, itemset)
+            assert rolled.n == direct.n
+            for cell in direct.cells():
+                assert rolled.observed(cell) == direct.observed(cell)
+
+    def test_table_for_non_dimension_raises(self, db):
+        cube = CountDatacube(db, [0, 1])
+        with pytest.raises(KeyError):
+            cube.table_for(Itemset([0, 2]))
+
+
+class TestCubeBackedRandomWalk:
+    def test_walk_results_match_database_backed(self):
+        import random
+
+        from repro.algorithms.randomwalk import RandomWalkMiner
+        from repro.measures.cellsupport import CellSupport
+
+        rng = random.Random(4)
+        baskets = []
+        for _ in range(300):
+            basket = set()
+            if rng.random() < 0.5:
+                basket |= {0, 1}
+            for item in range(2, 6):
+                if rng.random() < 0.3:
+                    basket.add(item)
+            baskets.append(sorted(basket))
+        db = BasketDatabase.from_id_baskets(baskets, n_items=6)
+        cube = CountDatacube(db, range(6))
+        kwargs = dict(support=CellSupport(5, 0.3), n_walks=100, seed=8)
+        plain = RandomWalkMiner(**kwargs).mine(db)
+        cubed = RandomWalkMiner(cube=cube, **kwargs).mine(db)
+        assert [r.itemset for r in plain.rules] == [r.itemset for r in cubed.rules]

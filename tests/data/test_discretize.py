@@ -1,0 +1,144 @@
+"""Unit tests for the discretization schema."""
+
+import pytest
+
+from repro.data.discretize import (
+    BinnedAttribute,
+    BooleanAttribute,
+    CategoryAttribute,
+    ThresholdAttribute,
+    discretize,
+)
+
+
+RECORDS = [
+    {"married": True, "age": 35, "commute": "drives", "income": 30_000},
+    {"married": False, "age": 52, "commute": "carpool", "income": 80_000},
+    {"married": True, "age": 41, "commute": "none", "income": 55_000},
+    {"married": False, "age": 28, "commute": "drives", "income": 20_000},
+]
+
+
+class TestBooleanAttribute:
+    def test_truthiness(self):
+        attribute = BooleanAttribute("married", "married")
+        assert attribute.items_for(RECORDS[0]) == ["married"]
+        assert attribute.items_for(RECORDS[1]) == []
+
+    def test_predicate(self):
+        attribute = BooleanAttribute("age", "adult", predicate=lambda v: v >= 18)
+        assert attribute.items_for({"age": 20}) == ["adult"]
+        assert attribute.items_for({"age": 10}) == []
+
+    def test_missing_field_raises(self):
+        with pytest.raises(KeyError):
+            BooleanAttribute("nope", "x").items_for({"married": True})
+
+
+class TestThresholdAttribute:
+    def test_le_direction_matches_paper_i7(self):
+        attribute = ThresholdAttribute("age", "age<=40", 40)
+        assert attribute.items_for({"age": 40}) == ["age<=40"]
+        assert attribute.items_for({"age": 41}) == []
+
+    def test_ge_direction(self):
+        attribute = ThresholdAttribute("income", "high", 50_000, direction="ge")
+        assert attribute.items_for({"income": 50_000}) == ["high"]
+        assert attribute.items_for({"income": 49_999}) == []
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdAttribute("age", "x", 1, direction="lt")
+
+
+class TestCategoryAttribute:
+    def test_membership(self):
+        attribute = CategoryAttribute("commute", "drives_alone", ["drives"])
+        assert attribute.items_for(RECORDS[0]) == ["drives_alone"]
+        assert attribute.items_for(RECORDS[1]) == []
+
+    def test_multiple_values_collapse(self):
+        attribute = CategoryAttribute("commute", "no_solo", ["carpool", "none"])
+        assert attribute.items_for(RECORDS[1]) == ["no_solo"]
+        assert attribute.items_for(RECORDS[2]) == ["no_solo"]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryAttribute("commute", "x", [])
+
+
+class TestBinnedAttribute:
+    def test_manual_edges(self):
+        attribute = BinnedAttribute("income", "income", [30_000, 60_000])
+        assert attribute.items_for({"income": 10_000}) == ["income[0]"]
+        assert attribute.items_for({"income": 30_000}) == ["income[1]"]
+        assert attribute.items_for({"income": 99_000}) == ["income[2]"]
+        assert attribute.item_names() == ["income[0]", "income[1]", "income[2]"]
+
+    def test_equal_width(self):
+        attribute = BinnedAttribute.equal_width("x", "x", [0, 10], bins=2)
+        assert attribute.edges == (5.0,)
+
+    def test_quantiles(self):
+        attribute = BinnedAttribute.quantiles("x", "x", range(100), bins=4)
+        assert len(attribute.edges) == 3
+        assert attribute.edges[0] == pytest.approx(25, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinnedAttribute("x", "x", [3, 1])
+        with pytest.raises(ValueError):
+            BinnedAttribute("x", "x", [1, 1])
+        with pytest.raises(ValueError):
+            BinnedAttribute.equal_width("x", "x", [5, 5], bins=2)
+        with pytest.raises(ValueError):
+            BinnedAttribute.equal_width("x", "x", [], bins=2)
+        with pytest.raises(ValueError):
+            BinnedAttribute.quantiles("x", "x", range(10), bins=1)
+
+
+class TestDiscretize:
+    def test_full_schema(self):
+        schema = [
+            BooleanAttribute("married", "married"),
+            ThresholdAttribute("age", "age<=40", 40),
+            CategoryAttribute("commute", "drives_alone", ["drives"]),
+            BinnedAttribute("income", "income", [40_000]),
+        ]
+        db = discretize(RECORDS, schema)
+        assert db.n_baskets == 4
+        assert db.basket_names(0) == ("married", "age<=40", "drives_alone", "income[0]")
+        assert db.basket_names(1) == ("income[1]",)
+
+    def test_vocabulary_preseeded_and_stable(self):
+        schema = [BinnedAttribute("income", "income", [40_000])]
+        db = discretize(RECORDS[:1], schema)  # only bin 0 occurs
+        assert list(db.vocabulary) == ["income[0]", "income[1]"]
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            discretize(RECORDS, [])
+
+    def test_mined_end_to_end(self):
+        """Discretized records feed straight into the miner."""
+        import random
+
+        from repro.algorithms.chi2support import ChiSquaredSupportMiner
+        from repro.measures.cellsupport import CellSupport
+
+        rng = random.Random(2)
+        records = []
+        for _ in range(400):
+            age = rng.randint(18, 80)
+            # Plant a dependence: older people are more often married.
+            married = rng.random() < (0.25 if age <= 40 else 0.75)
+            records.append({"age": age, "married": married})
+        schema = [
+            ThresholdAttribute("age", "age<=40", 40),
+            BooleanAttribute("married", "married"),
+        ]
+        db = discretize(records, schema)
+        result = ChiSquaredSupportMiner(support=CellSupport(5, 0.3)).mine(db)
+        assert db.vocabulary.encode(["age<=40", "married"]) in {
+            r.itemset for r in result.rules
+        }

@@ -1,0 +1,83 @@
+"""Unit tests for basket file I/O."""
+
+import pytest
+
+from repro.core.itemsets import ItemVocabulary
+from repro.data.basket import BasketDatabase
+from repro.data.io import (
+    read_named_baskets,
+    read_numeric_baskets,
+    write_named_baskets,
+    write_numeric_baskets,
+)
+
+
+class TestNamedFormat:
+    def test_roundtrip(self, tmp_path):
+        db = BasketDatabase.from_baskets([["tea", "coffee"], ["tea"], []])
+        path = tmp_path / "baskets.txt"
+        write_named_baskets(db, path)
+        loaded = read_named_baskets(path)
+        assert loaded.n_baskets == 3
+        assert loaded.basket_names(0) == ("tea", "coffee")
+        assert loaded[2] == ()
+
+    def test_read_with_shared_vocabulary(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("b a\n", encoding="utf-8")
+        vocab = ItemVocabulary(["a", "b"])
+        db = read_named_baskets(path, vocabulary=vocab)
+        assert db[0] == (0, 1)
+
+    def test_empty_lines_are_empty_baskets(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("a\n\nb\n", encoding="utf-8")
+        db = read_named_baskets(path)
+        assert db.n_baskets == 3
+        assert db[1] == ()
+
+
+class TestNumericFormat:
+    def test_roundtrip(self, tmp_path):
+        db = BasketDatabase.from_id_baskets([[0, 2], [1], []], n_items=3)
+        path = tmp_path / "baskets.dat"
+        write_numeric_baskets(db, path)
+        loaded = read_numeric_baskets(path, n_items=3)
+        assert list(loaded) == list(db)
+
+    def test_read_respects_n_items(self, tmp_path):
+        path = tmp_path / "b.dat"
+        path.write_text("0 1\n", encoding="utf-8")
+        db = read_numeric_baskets(path, n_items=10)
+        assert db.n_items == 10
+
+    def test_read_bad_token_raises(self, tmp_path):
+        path = tmp_path / "b.dat"
+        path.write_text("0 x\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_numeric_baskets(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_numeric_baskets(tmp_path / "missing.dat")
+
+
+class TestGzipTransparency:
+    def test_named_gz_roundtrip(self, tmp_path):
+        db = BasketDatabase.from_baskets([["tea", "coffee"], [], ["tea"]])
+        path = tmp_path / "baskets.txt.gz"
+        write_named_baskets(db, path)
+        # The file really is gzip, not plain text.
+        import gzip
+
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        loaded = read_named_baskets(path)
+        assert list(loaded) == list(db)
+
+    def test_numeric_gz_roundtrip(self, tmp_path):
+        db = BasketDatabase.from_id_baskets([[0, 1], [2], []], n_items=3)
+        path = tmp_path / "baskets.dat.gz"
+        write_numeric_baskets(db, path)
+        loaded = read_numeric_baskets(path, n_items=3)
+        assert list(loaded) == list(db)

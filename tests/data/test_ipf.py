@@ -1,0 +1,109 @@
+"""Unit tests for iterative proportional fitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.ipf import PairwiseTarget, fit_pairwise, materialize_counts
+
+
+class TestPairwiseTarget:
+    def test_normalized(self):
+        target = PairwiseTarget(0, 1, (1.0, 1.0, 1.0, 1.0))
+        assert target.normalized() == (0.25, 0.25, 0.25, 0.25)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            PairwiseTarget(1, 1, (1, 1, 1, 1))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PairwiseTarget(0, 1, (-1, 1, 1, 1))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            PairwiseTarget(0, 1, (0, 0, 0, 0))
+
+
+class TestFitPairwise:
+    def test_single_pair_exact(self):
+        target = PairwiseTarget(0, 1, (0.1, 0.2, 0.3, 0.4))
+        result = fit_pairwise(2, [target])
+        assert result.converged
+        assert result.pairwise(0, 1) == pytest.approx((0.1, 0.2, 0.3, 0.4), abs=1e-9)
+
+    def test_consistent_three_attribute_system(self):
+        # Independent attributes: targets are products of marginals.
+        p = [0.3, 0.6, 0.5]
+
+        def cells(a, b):
+            return (
+                (1 - p[a]) * (1 - p[b]),
+                p[a] * (1 - p[b]),
+                (1 - p[a]) * p[b],
+                p[a] * p[b],
+            )
+
+        targets = [PairwiseTarget(a, b, cells(a, b)) for a in range(3) for b in range(a + 1, 3)]
+        result = fit_pairwise(3, targets)
+        assert result.converged
+        for a in range(3):
+            assert result.marginal(a) == pytest.approx(p[a], abs=1e-8)
+
+    def test_mapping_input_form(self):
+        result = fit_pairwise(2, {(0, 1): (0.25, 0.25, 0.25, 0.25)})
+        assert result.pairwise(0, 1) == pytest.approx((0.25,) * 4, abs=1e-9)
+
+    def test_zero_target_cell_honoured(self):
+        target = PairwiseTarget(0, 1, (0.5, 0.0, 0.25, 0.25))
+        result = fit_pairwise(2, [target])
+        fitted = result.pairwise(0, 1)
+        assert fitted[1] == pytest.approx(0.0, abs=1e-15)
+
+    def test_joint_is_distribution(self):
+        targets = [PairwiseTarget(0, 1, (0.4, 0.1, 0.1, 0.4))]
+        result = fit_pairwise(4, targets)
+        assert result.joint.sum() == pytest.approx(1.0)
+        assert (result.joint >= 0).all()
+
+    def test_attribute_out_of_range(self):
+        with pytest.raises(ValueError):
+            fit_pairwise(2, [PairwiseTarget(0, 5, (1, 1, 1, 1))])
+
+    def test_inconsistent_targets_report_residual(self):
+        # Marginal of attribute 0 differs between the two targets: IPF
+        # cannot satisfy both, must still terminate with finite error.
+        targets = [
+            PairwiseTarget(0, 1, (0.4, 0.1, 0.4, 0.1)),  # p(a0) = 0.2
+            PairwiseTarget(0, 2, (0.1, 0.4, 0.1, 0.4)),  # p(a0) = 0.8
+        ]
+        result = fit_pairwise(3, targets, max_iterations=50)
+        assert not result.converged
+        assert np.isfinite(result.max_error)
+
+
+class TestMaterializeCounts:
+    def test_exact_total(self):
+        joint = np.array([0.3, 0.3, 0.4])
+        counts = materialize_counts(joint, 10)
+        assert counts.sum() == 10
+
+    def test_largest_remainder(self):
+        joint = np.array([0.5, 0.25, 0.25])
+        counts = materialize_counts(joint, 2)
+        assert counts.tolist() == [1, 1, 0] or counts.tolist() == [1, 0, 1]
+
+    def test_deterministic(self):
+        joint = np.random.default_rng(0).random(64)
+        assert (materialize_counts(joint, 1000) == materialize_counts(joint, 1000)).all()
+
+    def test_unnormalised_input_ok(self):
+        counts = materialize_counts(np.array([2.0, 2.0]), 10)
+        assert counts.tolist() == [5, 5]
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            materialize_counts(np.zeros(4), 5)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            materialize_counts(np.array([1.0]), -1)

@@ -1,0 +1,112 @@
+"""Unit tests for the parity (high-border) generator."""
+
+import pytest
+
+from repro.algorithms.chi2support import ChiSquaredSupportMiner
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset
+from repro.data.parity import generate_parity_data, planted_border
+from repro.measures.cellsupport import CellSupport
+
+
+class TestGenerator:
+    def test_shape(self):
+        db = generate_parity_data(500, [3, 4], noise_items=2, seed=1)
+        assert db.n_baskets == 500
+        assert db.n_items == 9
+
+    def test_even_parity_invariant(self):
+        db = generate_parity_data(300, [4], seed=2)
+        for basket in db:
+            assert len(basket) % 2 == 0  # even number of group members
+
+    def test_marginals_near_half(self):
+        db = generate_parity_data(4000, [3], noise_items=1, seed=3)
+        for item in range(db.n_items):
+            assert db.item_count(item) / db.n_baskets == pytest.approx(0.5, abs=0.05)
+
+    def test_deterministic(self):
+        a = generate_parity_data(100, [3], seed=7)
+        b = generate_parity_data(100, [3], seed=7)
+        assert list(a) == list(b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_parity_data(0, [3])
+        with pytest.raises(ValueError):
+            generate_parity_data(10, [1])
+        with pytest.raises(ValueError):
+            generate_parity_data(10, [], noise_items=0)
+        with pytest.raises(ValueError):
+            generate_parity_data(10, [2], noise_items=-1)
+
+    def test_planted_border_layout(self):
+        assert planted_border([3, 2]) == [Itemset([3, 4]), Itemset([0, 1, 2])]
+
+
+class TestBorderPlacement:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_parity_data(4000, [3], noise_items=2, seed=11)
+
+    def test_proper_subsets_independent(self, db):
+        """Every pair inside the group has chi-squared far below cutoff."""
+        for pair in Itemset([0, 1, 2]).subsets(2):
+            value = chi_squared(ContingencyTable.from_database(db, pair))
+            assert value < 3.84 * 2  # statistical noise only
+
+    def test_full_group_maximally_dependent(self, db):
+        """chi-squared of the full parity group is ~n."""
+        table = ContingencyTable.from_database(db, Itemset([0, 1, 2]))
+        value = chi_squared(table)
+        assert value == pytest.approx(db.n_baskets, rel=0.1)
+
+    def test_impossible_cells(self, db):
+        """Odd-parity patterns never occur."""
+        table = ContingencyTable.from_database(db, Itemset([0, 1, 2]))
+        for cell in table.cells():
+            if bin(cell).count("1") % 2 == 1:
+                assert table.observed(cell) == 0
+
+    def test_levelwise_miner_recovers_planted_border(self, db):
+        result = ChiSquaredSupportMiner(support=CellSupport(5, 0.3)).mine(db)
+        found = {rule.itemset for rule in result.rules}
+        assert Itemset([0, 1, 2]) in found
+        # No pair inside the group sneaks into the border.
+        for pair in Itemset([0, 1, 2]).subsets(2):
+            assert pair not in found
+
+    def test_deeper_border(self):
+        """A 4-item group places the border at level 4.
+
+        At 95% significance the ~5% false-positive rate lets a noise
+        triple cross the cutoff and mask the planted element (a genuine
+        multiple-testing effect of the framework); 99.9% suppresses the
+        noise while the parity group's chi-squared of ~n sails over any
+        cutoff.
+        """
+        db = generate_parity_data(6000, [4], seed=13)
+        result = ChiSquaredSupportMiner(
+            significance=0.999, support=CellSupport(5, 0.3)
+        ).mine(db)
+        assert Itemset([0, 1, 2, 3]) in {rule.itemset for rule in result.rules}
+        # Everything below level 4 stayed uncorrelated.
+        assert all(len(rule.itemset) >= 4 for rule in result.rules)
+
+    def test_multiple_testing_at_95(self):
+        """The 95% cutoff admits noise itemsets across a large search —
+        the practical reason to raise significance on wide lattices."""
+        db = generate_parity_data(6000, [4], seed=13)
+        result = ChiSquaredSupportMiner(support=CellSupport(5, 0.3)).mine(db)
+        # Some rule is found, but not necessarily the planted one.
+        assert result.rules
+        loose = {rule.itemset for rule in result.rules}
+        strict = {
+            rule.itemset
+            for rule in ChiSquaredSupportMiner(
+                significance=0.999, support=CellSupport(5, 0.3)
+            ).mine(db).rules
+        }
+        assert strict == {Itemset([0, 1, 2, 3])}
+        assert loose != strict

@@ -1,0 +1,85 @@
+"""Unit tests for the Quest synthetic generator (scaled-down settings)."""
+
+import pytest
+
+from repro.data.quest import QuestParameters, generate_quest
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    params = QuestParameters(
+        n_transactions=2000,
+        n_items=100,
+        avg_transaction_size=10,
+        avg_pattern_size=4,
+        n_patterns=50,
+        seed=7,
+    )
+    return generate_quest(params)
+
+
+class TestParameters:
+    def test_defaults_match_paper(self):
+        params = QuestParameters()
+        assert params.n_transactions == 99_997
+        assert params.n_items == 870
+        assert params.avg_transaction_size == 20.0
+        assert params.avg_pattern_size == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuestParameters(n_transactions=0)
+        with pytest.raises(ValueError):
+            QuestParameters(n_items=0)
+        with pytest.raises(ValueError):
+            QuestParameters(avg_transaction_size=0)
+        with pytest.raises(ValueError):
+            QuestParameters(correlation=1.5)
+        with pytest.raises(ValueError):
+            QuestParameters(n_patterns=0)
+
+
+class TestGeneration:
+    def test_shape(self, small_db):
+        assert small_db.n_baskets == 2000
+        assert small_db.n_items == 100
+
+    def test_average_basket_size_near_target(self, small_db):
+        sizes = [len(basket) for basket in small_db]
+        assert sum(sizes) / len(sizes) == pytest.approx(10, rel=0.25)
+
+    def test_items_in_range(self, small_db):
+        for basket in small_db:
+            assert all(0 <= item < 100 for item in basket)
+
+    def test_no_duplicates_in_basket(self, small_db):
+        for basket in small_db:
+            assert len(basket) == len(set(basket))
+
+    def test_deterministic(self):
+        params = QuestParameters(n_transactions=50, n_items=30, n_patterns=10, seed=3)
+        a = generate_quest(params)
+        b = generate_quest(params)
+        assert list(a) == list(b)
+
+    def test_seed_changes_data(self):
+        base = QuestParameters(n_transactions=50, n_items=30, n_patterns=10, seed=3)
+        other = QuestParameters(n_transactions=50, n_items=30, n_patterns=10, seed=4)
+        assert list(generate_quest(base)) != list(generate_quest(other))
+
+    def test_pattern_structure_produces_correlations(self, small_db):
+        """Planted patterns make some pair far more frequent than chance."""
+        from repro.core.contingency import ContingencyTable
+        from repro.core.correlation import chi_squared
+        from repro.core.itemsets import Itemset
+
+        counts = small_db.item_counts()
+        popular = sorted(range(100), key=lambda i: -counts[i])[:12]
+        best = max(
+            chi_squared(
+                ContingencyTable.from_database(small_db, Itemset([a, b]))
+            )
+            for i, a in enumerate(popular)
+            for b in popular[i + 1:]
+        )
+        assert best > 50  # unmistakably non-independent

@@ -1,0 +1,78 @@
+"""Unit tests for the text-to-basket pipeline."""
+
+import pytest
+
+from repro.data.text import TextPipeline, corpus_to_baskets, tokenize
+
+
+class TestTokenize:
+    def test_alphabetic_runs_only(self):
+        assert tokenize("Hello, world! 42 times") == ["hello", "world", "times"]
+
+    def test_possessive_splits(self):
+        # Paper: "'s' as a possessive suffix would be its own word".
+        assert tokenize("Mandela's party") == ["mandela", "s", "party"]
+
+    def test_numbers_ignored(self):
+        assert tokenize("1996 articles") == ["articles"]
+
+    def test_lowercasing(self):
+        assert tokenize("Liberia LIBERIA liberia") == ["liberia"] * 3
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_hyphenation_splits(self):
+        assert tokenize("peace-keeping") == ["peace", "keeping"]
+
+
+class TestTextPipeline:
+    def test_short_documents_dropped(self):
+        pipeline = TextPipeline(min_words=5, min_document_frequency=0.0)
+        db = pipeline.run(["one two three four five", "too short"])
+        assert db.n_baskets == 1
+
+    def test_document_frequency_pruning(self):
+        pipeline = TextPipeline(min_words=1, min_document_frequency=0.6)
+        docs = ["common rare", "common", "common other"]
+        db = pipeline.run(docs)
+        assert "common" in db.vocabulary
+        assert "rare" not in db.vocabulary
+        assert "other" not in db.vocabulary
+
+    def test_baskets_are_distinct_words(self):
+        pipeline = TextPipeline(min_words=1, min_document_frequency=0.0)
+        db = pipeline.run(["word word word other"])
+        assert db.basket_names(0) == ("other", "word")
+
+    def test_frequency_floor_is_fraction_of_kept_documents(self):
+        # 4 docs, one dropped for length; floor 0.5 -> word must appear
+        # in >= 1.5 of the 3 kept docs, i.e. 2.
+        pipeline = TextPipeline(min_words=3, min_document_frequency=0.5)
+        docs = [
+            "alpha beta gamma",
+            "alpha delta epsilon",
+            "zeta eta theta",
+            "x",  # dropped
+        ]
+        db = pipeline.run(docs)
+        assert "alpha" in db.vocabulary
+        assert "beta" not in db.vocabulary
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TextPipeline(min_words=-1)
+        with pytest.raises(ValueError):
+            TextPipeline(min_document_frequency=1.5)
+
+    def test_corpus_to_baskets_defaults(self):
+        # The paper's defaults: 200-word floor, 10% df pruning.
+        long_doc = " ".join(["word"] * 200)
+        db = corpus_to_baskets([long_doc, "short"])
+        assert db.n_baskets == 1
+        assert "word" in db.vocabulary
+
+    def test_vocabulary_sorted(self):
+        pipeline = TextPipeline(min_words=1, min_document_frequency=0.0)
+        db = pipeline.run(["zebra apple mango"])
+        assert list(db.vocabulary) == sorted(db.vocabulary)

@@ -1,0 +1,133 @@
+"""Unit tests for FKS perfect hashing."""
+
+import random
+
+import pytest
+
+from repro.hashing.fks import DynamicFKSTable, FKSTable
+
+
+class TestFKSTable:
+    def test_empty_table(self):
+        table = FKSTable([])
+        assert len(table) == 0
+        assert 5 not in table
+        assert table.get(5) is None
+
+    def test_basic_lookup(self):
+        table = FKSTable([(1, "a"), (2, "b"), (100, "c")])
+        assert table[1] == "a"
+        assert table[100] == "c"
+        assert table.get(3, "missing") == "missing"
+
+    def test_contains(self):
+        table = FKSTable([(7, None)])
+        assert 7 in table
+        assert 8 not in table
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            FKSTable([(1, "a")])[2]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            FKSTable([(1, "a"), (1, "b")])
+
+    def test_key_out_of_domain_rejected(self):
+        with pytest.raises(ValueError):
+            FKSTable([(-1, "a")])
+        with pytest.raises(ValueError):
+            FKSTable([(1 << 62, "a")])
+
+    def test_large_random_key_set(self):
+        rng = random.Random(42)
+        keys = rng.sample(range(1 << 40), 2000)
+        table = FKSTable([(k, k * 2) for k in keys])
+        for key in keys[:200]:
+            assert table[key] == key * 2
+        for probe in rng.sample(range(1 << 40), 200):
+            if probe not in set(keys):
+                assert probe not in table
+
+    def test_linear_space(self):
+        """The FKS guarantee: total second-level slots are O(n)."""
+        rng = random.Random(1)
+        keys = rng.sample(range(1 << 50), 5000)
+        table = FKSTable([(k, None) for k in keys])
+        assert table.slot_count() <= 4 * len(keys) + len(keys)
+
+    def test_items_iteration_complete(self):
+        pairs = [(i * 17, str(i)) for i in range(100)]
+        table = FKSTable(pairs)
+        assert sorted(table.items()) == sorted(pairs)
+        assert sorted(table.keys()) == sorted(k for k, _ in pairs)
+
+
+class TestDynamicFKSTable:
+    def test_insert_and_lookup(self):
+        table = DynamicFKSTable()
+        for i in range(100):
+            table.insert(i * 3, i)
+        assert len(table) == 100
+        for i in range(100):
+            assert table[i * 3] == i
+
+    def test_insert_triggers_rebuild(self):
+        table = DynamicFKSTable([(i, i) for i in range(10)])
+        for i in range(100, 200):
+            table.insert(i, i)
+        assert len(table) == 110
+        assert table[150] == 150
+        assert table[5] == 5
+
+    def test_overwrite(self):
+        table = DynamicFKSTable([(1, "old")])
+        table.insert(1, "new")
+        assert table[1] == "new"
+        assert len(table) == 1
+
+    def test_delete_static_and_overflow(self):
+        table = DynamicFKSTable([(1, "a"), (2, "b")])
+        table.insert(3, "c")  # overflow
+        table.delete(1)  # static -> tombstone
+        table.delete(3)  # overflow -> gone
+        assert 1 not in table
+        assert 3 not in table
+        assert len(table) == 1
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            DynamicFKSTable().delete(9)
+
+    def test_reinsert_after_delete(self):
+        table = DynamicFKSTable([(1, "a")])
+        table.delete(1)
+        table.insert(1, "b")
+        assert table[1] == "b"
+
+    def test_items_after_churn(self):
+        table = DynamicFKSTable()
+        for i in range(50):
+            table.insert(i, i)
+        for i in range(0, 50, 2):
+            table.delete(i)
+        remaining = dict(table.items())
+        assert remaining == {i: i for i in range(1, 50, 2)}
+
+    def test_getitem_keyerror(self):
+        with pytest.raises(KeyError):
+            DynamicFKSTable()[77]
+
+    def test_delete_of_overwritten_key_does_not_resurrect(self):
+        # Regression: key lives in static AND overflow; deleting it must
+        # remove both views, not expose the stale static value.
+        table = DynamicFKSTable([(1, "static")])
+        table.insert(1, "overflow")
+        table.delete(1)
+        assert 1 not in table
+        assert len(table) == 0
+
+    def test_len_with_shadowed_keys(self):
+        table = DynamicFKSTable([(1, "a"), (2, "b")])
+        table.insert(1, "a2")  # shadow, not a new element
+        assert len(table) == 2

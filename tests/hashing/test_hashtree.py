@@ -1,0 +1,97 @@
+"""Unit tests for the Apriori hash tree."""
+
+import random
+
+import pytest
+
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.hashing.hashtree import HashTree
+
+
+class TestConstruction:
+    def test_size_and_dedup(self):
+        tree = HashTree([Itemset([1, 2]), Itemset([2, 3]), Itemset([1, 2])])
+        assert len(tree) == 2
+        assert tree.candidate_size == 2
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([Itemset([1]), Itemset([1, 2])])
+
+    def test_empty_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            HashTree([Itemset([])])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HashTree([], leaf_capacity=0)
+        with pytest.raises(ValueError):
+            HashTree([], fanout=1)
+
+    def test_splitting_preserves_candidates(self):
+        # More candidates than leaf capacity forces interior nodes.
+        candidates = [Itemset([a, a + 1, a + 2]) for a in range(40)]
+        tree = HashTree(candidates, leaf_capacity=2, fanout=4)
+        assert len(tree) == 40
+        counted = tree.counts()
+        assert set(counted) == set(candidates)
+
+
+class TestCounting:
+    def test_simple_counts(self):
+        tree = HashTree([Itemset([0, 1]), Itemset([1, 2]), Itemset([0, 2])])
+        baskets = [(0, 1, 2), (0, 1), (2,), (1, 2)]
+        tree.count_baskets(baskets)
+        assert tree.count_of(Itemset([0, 1])) == 2
+        assert tree.count_of(Itemset([1, 2])) == 2
+        assert tree.count_of(Itemset([0, 2])) == 1
+
+    def test_short_baskets_skipped(self):
+        tree = HashTree([Itemset([0, 1, 2])])
+        tree.count_baskets([(0, 1), ()])
+        assert tree.count_of(Itemset([0, 1, 2])) == 0
+
+    def test_count_of_unknown_raises(self):
+        tree = HashTree([Itemset([0, 1])])
+        with pytest.raises(KeyError):
+            tree.count_of(Itemset([5, 6]))
+
+    def test_incremental_counting(self):
+        tree = HashTree([Itemset([0, 1])])
+        tree.count_baskets([(0, 1)])
+        tree.count_baskets([(0, 1, 2)])
+        assert tree.count_of(Itemset([0, 1])) == 2
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("size", [2, 3])
+    def test_matches_bitmap_counting(self, seed, size):
+        """Ground truth: the tree's counts equal bitmap support counts."""
+        rng = random.Random(seed)
+        n_items = 30
+        baskets = [
+            sorted(rng.sample(range(n_items), rng.randint(0, 12)))
+            for _ in range(300)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+        candidates = list(
+            {
+                Itemset(rng.sample(range(n_items), size))
+                for _ in range(150)
+            }
+        )
+        tree = HashTree(candidates, leaf_capacity=3, fanout=8)
+        tree.count_baskets(db)
+        for candidate in candidates:
+            assert tree.count_of(candidate) == db.support_count(candidate), candidate
+
+    def test_collision_heavy_fanout(self):
+        """A tiny fanout maximises hash collisions; counts stay exact."""
+        rng = random.Random(3)
+        baskets = [sorted(rng.sample(range(20), 8)) for _ in range(100)]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=20)
+        candidates = [Itemset([a, b]) for a in range(10) for b in range(a + 1, 10)]
+        tree = HashTree(candidates, leaf_capacity=1, fanout=2)
+        tree.count_baskets(db)
+        for candidate in candidates:
+            assert tree.count_of(candidate) == db.support_count(candidate)

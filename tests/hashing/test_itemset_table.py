@@ -1,0 +1,90 @@
+"""Unit tests for the itemset-keyed hash table."""
+
+import pytest
+
+from repro.core.itemsets import Itemset
+from repro.hashing.itemset_table import ItemsetTable, itemset_key
+
+
+class TestItemsetKey:
+    def test_small_itemsets_injective(self):
+        seen = {}
+        for a in range(20):
+            for b in range(a + 1, 20):
+                key = itemset_key(Itemset([a, b]))
+                assert key not in seen
+                seen[key] = (a, b)
+
+    def test_singleton_vs_pair_distinct(self):
+        assert itemset_key(Itemset([1])) != itemset_key(Itemset([0, 1]))
+
+    def test_empty_itemset(self):
+        assert itemset_key(Itemset([])) == 0
+
+    def test_wide_itemsets_get_folded_keys(self):
+        wide = Itemset(range(5))
+        key = itemset_key(wide)
+        assert key >> 60 == 1  # folded marker bit
+
+    def test_deterministic(self):
+        assert itemset_key(Itemset([3, 9])) == itemset_key(Itemset([9, 3]))
+
+
+@pytest.mark.parametrize("backend", ["dict", "fks"])
+class TestItemsetTable:
+    def test_insert_contains_get(self, backend):
+        table = ItemsetTable(backend=backend)
+        table.insert(Itemset([1, 2]), "value")
+        assert Itemset([1, 2]) in table
+        assert Itemset([1, 3]) not in table
+        assert table.get(Itemset([1, 2])) == "value"
+        assert table.get(Itemset([9]), "d") == "d"
+
+    def test_len(self, backend):
+        table = ItemsetTable(backend=backend)
+        for i in range(30):
+            table.insert(Itemset([i, i + 1]))
+        assert len(table) == 30
+
+    def test_getitem_raises(self, backend):
+        with pytest.raises(KeyError):
+            ItemsetTable(backend=backend)[Itemset([1])]
+
+    def test_delete(self, backend):
+        table = ItemsetTable([(Itemset([1, 2]), 1)], backend=backend)
+        table.delete(Itemset([1, 2]))
+        assert Itemset([1, 2]) not in table
+
+    def test_delete_missing_raises(self, backend):
+        with pytest.raises(KeyError):
+            ItemsetTable(backend=backend).delete(Itemset([5]))
+
+    def test_iteration(self, backend):
+        itemsets = [Itemset([i, i + 2]) for i in range(10)]
+        table = ItemsetTable(((s, i) for i, s in enumerate(itemsets)), backend=backend)
+        assert sorted(table.keys()) == sorted(itemsets)
+        assert sorted(table) == sorted(itemsets)
+        assert dict(table.items()) == {s: i for i, s in enumerate(itemsets)}
+
+    def test_overwrite(self, backend):
+        table = ItemsetTable(backend=backend)
+        table.insert(Itemset([4, 5]), "a")
+        table.insert(Itemset([4, 5]), "b")
+        assert table[Itemset([4, 5])] == "b"
+        assert len(table) == 1
+
+    def test_wide_itemsets(self, backend):
+        wide = [Itemset(range(i, i + 6)) for i in range(50)]
+        table = ItemsetTable(((s, None) for s in wide), backend=backend)
+        for s in wide:
+            assert s in table
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ItemsetTable(backend="bogus")
+
+    def test_backend_property(self):
+        assert ItemsetTable(backend="fks").backend == "fks"
+        assert ItemsetTable().backend == "dict"

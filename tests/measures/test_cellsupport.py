@@ -1,0 +1,142 @@
+"""Unit tests for cell-based support, anti-support, and level-1 pruning."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.itemsets import Itemset
+from repro.measures.cellsupport import (
+    AntiSupport,
+    CellSupport,
+    level1_pair_may_have_support,
+)
+
+
+def table_2x2(o11, o01, o10, o00):
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+
+
+class TestCellSupport:
+    def test_all_cells_supported(self):
+        table = table_2x2(10, 10, 10, 10)
+        assert CellSupport(count=10, fraction=1.0)(table)
+
+    def test_fraction_threshold(self):
+        table = table_2x2(10, 10, 1, 1)
+        assert CellSupport(count=10, fraction=0.5)(table)
+        assert not CellSupport(count=10, fraction=0.75)(table)
+
+    def test_exact_boundary_counts(self):
+        # Exactly p% of cells at exactly count s must pass ("at least").
+        table = table_2x2(5, 5, 0, 0)
+        assert CellSupport(count=5, fraction=0.5)(table)
+
+    def test_supported_cell_count(self):
+        table = table_2x2(10, 3, 7, 0)
+        assert CellSupport(count=5, fraction=0.5).supported_cell_count(table) == 2
+
+    def test_zero_count_always_supported(self):
+        table = table_2x2(1, 0, 0, 0)
+        assert CellSupport(count=0, fraction=1.0)(table)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CellSupport(count=-1)
+        with pytest.raises(ValueError):
+            CellSupport(count=1, fraction=0.0)
+        with pytest.raises(ValueError):
+            CellSupport(count=1, fraction=1.5)
+
+    def test_enables_level1_pruning(self):
+        assert CellSupport(count=1, fraction=0.3).enables_level1_pruning
+        assert not CellSupport(count=1, fraction=0.25).enables_level1_pruning
+
+    def test_downward_closure_on_random_tables(self):
+        """If S is cell-supported, each subset of S is too (paper §4)."""
+        import random
+
+        from repro.data.basket import BasketDatabase
+
+        rng = random.Random(3)
+        baskets = [
+            [i for i in range(3) if rng.random() < 0.5] for _ in range(200)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=3)
+        measure = CellSupport(count=15, fraction=0.3)
+        triple = ContingencyTable.from_database(db, Itemset([0, 1, 2]))
+        if measure(triple):
+            for pair in Itemset([0, 1, 2]).subsets(2):
+                assert measure(ContingencyTable.from_database(db, pair))
+
+
+class TestAntiSupport:
+    def test_rare_combination_passes(self):
+        table = table_2x2(2, 40, 40, 18)
+        assert AntiSupport(ceiling=5)(table)
+
+    def test_common_combination_fails(self):
+        table = table_2x2(30, 30, 30, 10)
+        assert not AntiSupport(ceiling=5)(table)
+
+    def test_only_multi_item_cells_count(self):
+        # Large single-presence cells are fine; only co-occurrence matters.
+        table = table_2x2(1, 500, 500, 500)
+        assert AntiSupport(ceiling=5)(table)
+
+    def test_triple_cells(self):
+        table = ContingencyTable(
+            Itemset([0, 1, 2]), {0b111: 10, 0b011: 2, 0b001: 50, 0b000: 38}
+        )
+        assert not AntiSupport(ceiling=5)(table)
+        assert AntiSupport(ceiling=10)(table)
+
+    def test_invalid_ceiling(self):
+        with pytest.raises(ValueError):
+            AntiSupport(ceiling=-1)
+
+
+class TestLevel1Pruning:
+    def test_two_rare_items_pruned(self):
+        support = CellSupport(count=100, fraction=0.5)
+        assert not level1_pair_may_have_support(50, 50, 10_000, support)
+
+    def test_one_common_item_survives(self):
+        support = CellSupport(count=100, fraction=0.5)
+        # ~a b and ~a ~b can both reach 100.
+        assert level1_pair_may_have_support(50, 5_000, 10_000, support)
+
+    def test_two_very_common_items_pruned_at_high_fraction(self):
+        support = CellSupport(count=100, fraction=0.9)
+        # Both near n: absence cells cannot reach s, only 1 of 4 bounds passes.
+        assert not level1_pair_may_have_support(9_990, 9_950, 10_000, support)
+
+    def test_middling_items_survive(self):
+        support = CellSupport(count=100, fraction=0.9)
+        assert level1_pair_may_have_support(5_000, 5_000, 10_000, support)
+
+    def test_noop_when_fraction_too_small(self):
+        support = CellSupport(count=100, fraction=0.2)
+        assert level1_pair_may_have_support(0, 0, 10_000, support)
+
+    def test_soundness_vs_actual_support(self):
+        """Never prune a pair that is actually supported."""
+        import random
+
+        from repro.core.contingency import ContingencyTable
+        from repro.data.basket import BasketDatabase
+
+        rng = random.Random(11)
+        for trial in range(20):
+            p0, p1 = rng.random(), rng.random()
+            baskets = [
+                [i for i, p in enumerate((p0, p1)) if rng.random() < p]
+                for _ in range(300)
+            ]
+            db = BasketDatabase.from_id_baskets(baskets, n_items=2)
+            support = CellSupport(count=rng.randint(1, 150), fraction=rng.uniform(0.26, 1.0))
+            table = ContingencyTable.from_database(db, Itemset([0, 1]))
+            if support(table):
+                assert level1_pair_may_have_support(
+                    db.item_count(0), db.item_count(1), db.n_baskets, support
+                )

@@ -1,0 +1,138 @@
+"""Unit tests for classic support/confidence measures."""
+
+import math
+
+import pytest
+
+from repro.core.itemsets import Itemset
+from repro.measures.classic import (
+    confidence,
+    conviction,
+    leverage,
+    lift,
+    rule_stats,
+    support,
+    support_count,
+)
+
+
+def encode(db, *names):
+    return db.vocabulary.encode(names)
+
+
+class TestSupport:
+    def test_example1_support(self, tea_coffee_db):
+        both = encode(tea_coffee_db, "tea", "coffee")
+        assert support(tea_coffee_db, both) == pytest.approx(0.20)
+        assert support_count(tea_coffee_db, both) == 20
+
+    def test_single_item_support(self, tea_coffee_db):
+        assert support(tea_coffee_db, encode(tea_coffee_db, "coffee")) == pytest.approx(0.90)
+        assert support(tea_coffee_db, encode(tea_coffee_db, "tea")) == pytest.approx(0.25)
+
+    def test_empty_itemset_support_is_one(self, tea_coffee_db):
+        assert support(tea_coffee_db, Itemset([])) == 1.0
+
+
+class TestConfidence:
+    def test_example1_confidence(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        # Paper: P[t and c]/P[t] = 20/25 = 0.8.
+        assert confidence(tea_coffee_db, tea, coffee) == pytest.approx(0.8)
+
+    def test_directionality(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        assert confidence(tea_coffee_db, coffee, tea) == pytest.approx(20 / 90)
+
+    def test_nan_for_never_seen_antecedent(self):
+        from repro.data.basket import BasketDatabase
+
+        db = BasketDatabase.from_baskets([["a"], ["b"]])
+        vocab = db.vocabulary
+        vocab.add("ghost")
+        assert math.isnan(confidence(db, vocab.encode(["ghost"]), vocab.encode(["a"])))
+
+    def test_overlapping_sides_rejected(self, tea_coffee_db):
+        both = encode(tea_coffee_db, "tea", "coffee")
+        tea = encode(tea_coffee_db, "tea")
+        with pytest.raises(ValueError):
+            confidence(tea_coffee_db, both, tea)
+
+    def test_empty_side_rejected(self, tea_coffee_db):
+        with pytest.raises(ValueError):
+            confidence(tea_coffee_db, Itemset([]), encode(tea_coffee_db, "tea"))
+
+
+class TestLift:
+    def test_example1_value(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        # Paper: 0.2 / (0.25 * 0.9) = 0.89 — negative correlation.
+        assert lift(tea_coffee_db, tea, coffee) == pytest.approx(0.888888, rel=1e-5)
+
+    def test_symmetric(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        assert lift(tea_coffee_db, tea, coffee) == pytest.approx(
+            lift(tea_coffee_db, coffee, tea)
+        )
+
+    def test_independent_is_one(self, independent_db):
+        a = encode(independent_db, "a")
+        b = encode(independent_db, "b")
+        assert lift(independent_db, a, b) == pytest.approx(1.0)
+
+
+class TestLeverage:
+    def test_independent_is_zero(self, independent_db):
+        a = encode(independent_db, "a")
+        b = encode(independent_db, "b")
+        assert leverage(independent_db, a, b) == pytest.approx(0.0)
+
+    def test_example1_negative(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        assert leverage(tea_coffee_db, tea, coffee) == pytest.approx(0.2 - 0.25 * 0.9)
+
+
+class TestConviction:
+    def test_independent_is_one(self, independent_db):
+        a = encode(independent_db, "a")
+        b = encode(independent_db, "b")
+        assert conviction(independent_db, a, b) == pytest.approx(1.0)
+
+    def test_never_failing_rule_is_infinite(self):
+        from repro.data.basket import BasketDatabase
+
+        db = BasketDatabase.from_baskets([["a", "b"]] * 5 + [["b"]] * 3 + [[]] * 2)
+        assert math.isinf(
+            conviction(db, db.vocabulary.encode(["a"]), db.vocabulary.encode(["b"]))
+        )
+
+    def test_nan_when_consequent_universal(self):
+        from repro.data.basket import BasketDatabase
+
+        db = BasketDatabase.from_baskets([["a", "b"]] * 5 + [["b"]] * 5)
+        assert math.isnan(
+            conviction(db, db.vocabulary.encode(["a"]), db.vocabulary.encode(["b"]))
+        )
+
+    def test_example1_value(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        # P[t] P[~c] / P[t and ~c] = 0.25*0.1/0.05 = 0.5.
+        assert conviction(tea_coffee_db, tea, coffee) == pytest.approx(0.5)
+
+
+class TestRuleStats:
+    def test_bundle_consistency(self, tea_coffee_db):
+        tea = encode(tea_coffee_db, "tea")
+        coffee = encode(tea_coffee_db, "coffee")
+        stats = rule_stats(tea_coffee_db, tea, coffee)
+        assert stats.support == pytest.approx(0.20)
+        assert stats.confidence == pytest.approx(0.80)
+        assert stats.lift == pytest.approx(lift(tea_coffee_db, tea, coffee))
+        assert stats.passes(0.1, 0.5)
+        assert not stats.passes(0.25, 0.5)

@@ -1,0 +1,155 @@
+"""Unit tests for the interestingness-measure catalog."""
+
+import math
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset
+from repro.measures.interestingness import (
+    all_confidence,
+    cosine,
+    jaccard,
+    kulczynski,
+    measure_catalog,
+    odds_ratio,
+    phi_coefficient,
+)
+
+
+def table_2x2(o11, o01, o10, o00):
+    """o01 = first only, o10 = second only (contingency bit convention)."""
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+
+
+@pytest.fixture
+def positive():
+    return table_2x2(40, 10, 10, 40)
+
+
+@pytest.fixture
+def independent():
+    return table_2x2(25, 25, 25, 25)
+
+
+@pytest.fixture
+def negative():
+    return table_2x2(10, 40, 40, 10)
+
+
+class TestPhi:
+    def test_sign_convention(self, positive, independent, negative):
+        assert phi_coefficient(positive) > 0
+        assert phi_coefficient(independent) == pytest.approx(0.0)
+        assert phi_coefficient(negative) < 0
+
+    def test_n_phi_squared_is_chi_squared(self, positive):
+        phi = phi_coefficient(positive)
+        assert positive.n * phi * phi == pytest.approx(chi_squared(positive), rel=1e-9)
+
+    def test_bounds(self):
+        assert phi_coefficient(table_2x2(50, 0, 0, 50)) == pytest.approx(1.0)
+        assert phi_coefficient(table_2x2(0, 50, 50, 0)) == pytest.approx(-1.0)
+
+    def test_degenerate_marginal_nan(self):
+        assert math.isnan(phi_coefficient(table_2x2(50, 50, 0, 0)))
+
+    def test_requires_pair(self):
+        triple = ContingencyTable(Itemset([0, 1, 2]), {0: 10})
+        with pytest.raises(ValueError):
+            phi_coefficient(triple)
+
+
+class TestOddsRatio:
+    def test_independence_is_one(self, independent):
+        assert odds_ratio(independent) == pytest.approx(1.0)
+
+    def test_positive_association(self, positive):
+        assert odds_ratio(positive) == pytest.approx(16.0)
+
+    def test_infinite_and_nan(self):
+        assert math.isinf(odds_ratio(table_2x2(10, 0, 5, 10)))
+        assert math.isnan(odds_ratio(table_2x2(0, 0, 5, 0)))
+
+
+class TestJaccard:
+    def test_value(self, positive):
+        assert jaccard(positive) == pytest.approx(40 / 60)
+
+    def test_disjoint_items(self):
+        assert jaccard(table_2x2(0, 50, 50, 0)) == 0.0
+
+    def test_nan_when_nothing_occurs(self):
+        assert math.isnan(jaccard(table_2x2(0, 0, 0, 10)))
+
+
+class TestCosineAllConfidenceKulczynski:
+    def test_cosine_symmetric_case(self, positive):
+        assert cosine(positive) == pytest.approx(40 / 50)
+
+    def test_cosine_null_invariance(self, positive):
+        """Adding empty baskets does not change cosine (its selling point)."""
+        inflated = table_2x2(40, 10, 10, 40_000)
+        assert cosine(inflated) == pytest.approx(cosine(positive))
+
+    def test_all_confidence_is_min_confidence(self):
+        table = table_2x2(20, 30, 5, 45)  # r1 = 50, c1 = 25
+        assert all_confidence(table) == pytest.approx(20 / 50)
+
+    def test_kulczynski_is_mean_confidence(self):
+        table = table_2x2(20, 30, 5, 45)
+        assert kulczynski(table) == pytest.approx(0.5 * (20 / 50 + 20 / 25))
+
+    def test_all_confidence_downward_closed_property(self):
+        """all_confidence(pair) >= all_confidence(superset pair count)."""
+        import random
+
+        from repro.data.basket import BasketDatabase
+
+        rng = random.Random(6)
+        baskets = [
+            [i for i in range(3) if rng.random() < 0.5] for _ in range(300)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=3)
+        # all-confidence of {0,1} >= support({0,1,2})/max marginal, a
+        # consequence of O(012) <= O(01).
+        pair = ContingencyTable.from_database(db, Itemset([0, 1]))
+        triple_support = db.support_count(Itemset([0, 1, 2]))
+        assert all_confidence(pair) >= triple_support / max(
+            db.item_count(0), db.item_count(1)
+        ) - 1e-12
+
+
+class TestCatalog:
+    def test_contains_all_measures(self, positive):
+        catalog = measure_catalog(positive)
+        assert set(catalog) == {
+            "phi",
+            "odds_ratio",
+            "jaccard",
+            "cosine",
+            "all_confidence",
+            "kulczynski",
+            "lift",
+        }
+
+    def test_lift_agrees_with_classic(self, positive):
+        from repro.measures.classic import lift as classic_lift
+        from repro.data.basket import BasketDatabase
+
+        db = BasketDatabase.from_id_baskets(
+            [[0, 1]] * 40 + [[0]] * 10 + [[1]] * 10 + [[]] * 40, n_items=2
+        )
+        catalog = measure_catalog(ContingencyTable.from_database(db, Itemset([0, 1])))
+        assert catalog["lift"] == pytest.approx(
+            classic_lift(db, Itemset([0]), Itemset([1]))
+        )
+
+    def test_independence_fixed_points(self, independent):
+        catalog = measure_catalog(independent)
+        assert catalog["phi"] == pytest.approx(0.0)
+        assert catalog["odds_ratio"] == pytest.approx(1.0)
+        assert catalog["lift"] == pytest.approx(1.0)

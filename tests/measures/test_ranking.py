@@ -1,0 +1,94 @@
+"""Unit tests for rule ranking strategies."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import CorrelationTest
+from repro.core.itemsets import Itemset
+from repro.core.rules import CorrelationRule
+from repro.measures.ranking import (
+    rank_by_extremeness,
+    rank_by_statistic,
+    rank_by_support,
+    rank_by_surprise,
+    ranking_displacement,
+)
+
+
+def make_rule(items, o11, o01, o10, o00):
+    table = ContingencyTable(
+        Itemset(items), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+    return CorrelationRule(itemset=Itemset(items), result=CorrelationTest()(table), table=table)
+
+
+@pytest.fixture
+def rules():
+    return [
+        # Popular and mildly dependent: high support, modest chi2.
+        make_rule([0, 1], 500, 200, 200, 100),
+        # Rare but perfectly coupled: low support, huge interest.
+        make_rule([2, 3], 30, 0, 0, 970),
+        # Middling everything.
+        make_rule([4, 5], 150, 150, 150, 550),
+    ]
+
+
+class TestRankings:
+    def test_support_order(self, rules):
+        ranked = rank_by_support(rules)
+        assert ranked[0].itemset == Itemset([0, 1])
+        assert ranked[-1].itemset == Itemset([2, 3])
+
+    def test_statistic_order(self, rules):
+        ranked = rank_by_statistic(rules)
+        assert ranked[0].itemset == Itemset([2, 3])  # the coupled pair
+
+    def test_example4_inversion(self, rules):
+        """The paper's complaint: support ranking buries what chi-squared
+        ranks first."""
+        by_support = rank_by_support(rules)
+        by_statistic = rank_by_statistic(rules)
+        assert by_support[-1].itemset == by_statistic[0].itemset
+
+    def test_extremeness_prefers_sharp_cells(self, rules):
+        ranked = rank_by_extremeness(rules)
+        assert ranked[0].itemset == Itemset([2, 3])
+
+    def test_surprise_handles_impossible_cells(self):
+        impossible = make_rule([0, 1], 0, 500, 500, 0)
+        mild = make_rule([2, 3], 260, 240, 240, 260)
+        ranked = rank_by_surprise([mild, impossible])
+        assert ranked[0].itemset == Itemset([0, 1])
+
+    def test_rankings_are_permutations(self, rules):
+        for ranking in (
+            rank_by_support(rules),
+            rank_by_statistic(rules),
+            rank_by_extremeness(rules),
+            rank_by_surprise(rules),
+        ):
+            assert sorted(r.itemset for r in ranking) == sorted(r.itemset for r in rules)
+
+
+class TestDisplacement:
+    def test_identical_orders(self, rules):
+        assert ranking_displacement(rules, list(rules)) == 0.0
+
+    def test_reversed_orders(self, rules):
+        displacement = ranking_displacement(rules, list(reversed(rules)))
+        assert displacement == pytest.approx(4 / 3)
+
+    def test_mismatched_rules_rejected(self, rules):
+        with pytest.raises(ValueError):
+            ranking_displacement(rules, rules[:2])
+        other = make_rule([8, 9], 10, 10, 10, 10)
+        with pytest.raises(ValueError):
+            ranking_displacement(rules, rules[:2] + [other])
+
+    def test_empty(self):
+        assert ranking_displacement([], []) == 0.0
+
+    def test_quantifies_example4(self, rules):
+        displacement = ranking_displacement(rank_by_support(rules), rank_by_statistic(rules))
+        assert displacement > 0.0

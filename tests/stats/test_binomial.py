@@ -1,0 +1,117 @@
+"""Unit tests for the Appendix A binomial machinery."""
+
+import math
+
+import pytest
+
+from repro.stats.binomial import (
+    binomial_cdf,
+    binomial_pmf,
+    chi_squared_from_binomial,
+    de_moivre_laplace_pmf,
+    normal_cdf,
+    normal_pdf,
+    standardized_count,
+)
+
+
+class TestBinomial:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(k, 12, 0.3) for k in range(13))
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_pmf_known_value(self):
+        # P[X = 2] for Binomial(4, 0.5) = 6/16.
+        assert binomial_pmf(2, 4, 0.5) == pytest.approx(6 / 16)
+
+    def test_pmf_degenerate_p(self):
+        assert binomial_pmf(0, 5, 0.0) == 1.0
+        assert binomial_pmf(3, 5, 0.0) == 0.0
+        assert binomial_pmf(5, 5, 1.0) == 1.0
+
+    def test_cdf_boundaries(self):
+        assert binomial_cdf(-1, 10, 0.4) == 0.0
+        assert binomial_cdf(10, 10, 0.4) == 1.0
+
+    def test_cdf_monotone(self):
+        values = [binomial_cdf(k, 20, 0.35) for k in range(21)]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("k,n,p", [(3, 10, 0.2), (7, 15, 0.6), (0, 5, 0.9)])
+    def test_against_scipy(self, k, n, p):
+        stats = pytest.importorskip("scipy.stats")
+        assert binomial_pmf(k, n, p) == pytest.approx(float(stats.binom.pmf(k, n, p)), rel=1e-10)
+        assert binomial_cdf(k, n, p) == pytest.approx(float(stats.binom.cdf(k, n, p)), rel=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_pmf(2, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(2, 5, 1.5)
+        with pytest.raises(ValueError):
+            binomial_pmf(9, 5, 0.5)
+
+
+class TestNormal:
+    def test_pdf_peak(self):
+        assert normal_pdf(0.0) == pytest.approx(1 / math.sqrt(2 * math.pi))
+
+    def test_cdf_symmetry(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+        assert normal_cdf(1.5) + normal_cdf(-1.5) == pytest.approx(1.0)
+
+    def test_cdf_with_location_scale(self):
+        assert normal_cdf(10.0, mean=10.0, deviation=3.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0.0, deviation=0.0)
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, deviation=-1.0)
+
+
+class TestDeMoivreLaplace:
+    def test_approximation_accurate_at_large_n(self):
+        """The classical limit: normal ~ binomial for large Np(1-p)."""
+        n, p = 400, 0.5
+        for k in (190, 200, 210):
+            exact = binomial_pmf(k, n, p)
+            approx = de_moivre_laplace_pmf(k, n, p)
+            assert approx == pytest.approx(exact, rel=0.01)
+
+    def test_approximation_breaks_at_small_expectation(self):
+        """§3.3's warning, demonstrated: tiny Np makes the approximation bad."""
+        n, p = 50, 0.01  # E = 0.5
+        exact = binomial_pmf(0, n, p)
+        approx = de_moivre_laplace_pmf(0, n, p)
+        assert abs(approx - exact) / exact > 0.10
+
+
+class TestChiSquaredIdentity:
+    @pytest.mark.parametrize("successes,n,p", [(3, 10, 0.5), (18, 30, 0.4), (1, 20, 0.1)])
+    def test_z_squared_equals_two_cell_chi2(self, successes, n, p):
+        """Appendix A: z^2 == the success/failure chi-squared sum, exactly."""
+        z = standardized_count(successes, n, p)
+        assert chi_squared_from_binomial(successes, n, p) == pytest.approx(
+            z * z, rel=1e-12
+        )
+
+    def test_matches_contingency_table_statistic(self):
+        """The identity carries over to a real one-item contingency table."""
+        from repro.core.contingency import ContingencyTable
+        from repro.core.correlation import chi_squared_dense
+        from repro.core.itemsets import Itemset
+
+        n, successes = 100, 37
+        table = ContingencyTable(Itemset([0]), {1: successes, 0: n - successes})
+        # Under the table's own marginal the statistic is 0; against an
+        # external hypothesis p it is the binomial form.  Check p = the
+        # observed rate gives 0 via both routes.
+        assert chi_squared_dense(table) == pytest.approx(0.0)
+        assert chi_squared_from_binomial(successes, n, successes / n) == pytest.approx(0.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            standardized_count(0, 10, 0.0)
+        with pytest.raises(ValueError):
+            chi_squared_from_binomial(10, 10, 1.0)

@@ -1,0 +1,110 @@
+"""Unit tests for the chi-squared distribution."""
+
+import math
+
+import pytest
+
+from repro.stats import chi2
+
+
+class TestCdfSf:
+    def test_boundaries(self):
+        assert chi2.cdf(0.0, 1) == 0.0
+        assert chi2.sf(0.0, 1) == 1.0
+
+    def test_complementarity(self):
+        for df in (1, 2, 5, 10):
+            for x in (0.1, 1.0, 3.84, 20.0):
+                assert chi2.cdf(x, df) + chi2.sf(x, df) == pytest.approx(1.0, abs=1e-12)
+
+    def test_known_textbook_value(self):
+        # P[X >= 3.84] at 1 dof is 5%.
+        assert chi2.sf(3.8414588206941227, 1) == pytest.approx(0.05, rel=1e-9)
+
+    def test_median_df2(self):
+        # chi2(2) is Exponential(1/2): median = 2 ln 2.
+        assert chi2.cdf(2 * math.log(2), 2) == pytest.approx(0.5, rel=1e-12)
+
+    @pytest.mark.parametrize("df", [1, 2, 3, 7, 30, 200])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 3.84, 10.0, 100.0])
+    def test_against_scipy(self, df, x):
+        stats = pytest.importorskip("scipy.stats")
+        assert chi2.cdf(x, df) == pytest.approx(float(stats.chi2.cdf(x, df)), abs=1e-10)
+        assert chi2.sf(x, df) == pytest.approx(
+            float(stats.chi2.sf(x, df)), rel=1e-9, abs=1e-13
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            chi2.cdf(-1.0, 1)
+        with pytest.raises(ValueError):
+            chi2.cdf(1.0, 0)
+        with pytest.raises(ValueError):
+            chi2.sf(1.0, -2)
+
+
+class TestPdf:
+    @pytest.mark.parametrize("df", [1, 2, 4, 9])
+    @pytest.mark.parametrize("x", [0.2, 1.0, 5.0, 20.0])
+    def test_against_scipy(self, df, x):
+        stats = pytest.importorskip("scipy.stats")
+        assert chi2.pdf(x, df) == pytest.approx(float(stats.chi2.pdf(x, df)), rel=1e-10)
+
+    def test_pdf_at_zero(self):
+        assert chi2.pdf(0.0, 1) == math.inf
+        assert chi2.pdf(0.0, 2) == 0.5
+        assert chi2.pdf(0.0, 3) == 0.0
+
+    def test_pdf_integrates_to_cdf(self):
+        # Crude trapezoid over [0, 5] compared against cdf(5, 3).
+        df, steps = 3, 20_000
+        total = 0.0
+        for i in range(steps):
+            x0, x1 = 5 * i / steps, 5 * (i + 1) / steps
+            total += (chi2.pdf(x0, df) + chi2.pdf(x1, df)) * (x1 - x0) / 2
+        assert total == pytest.approx(chi2.cdf(5.0, df), abs=1e-6)
+
+
+class TestPpf:
+    def test_paper_cutoff(self):
+        assert chi2.ppf(0.95, 1) == pytest.approx(3.8414588206941227, rel=1e-10)
+
+    def test_roundtrip(self):
+        for df in (1, 2, 5, 50):
+            for p in (0.01, 0.5, 0.9, 0.95, 0.999, 0.9999999):
+                assert chi2.cdf(chi2.ppf(p, df), df) == pytest.approx(p, rel=1e-9)
+
+    @pytest.mark.parametrize("df", [1, 2, 10, 100])
+    @pytest.mark.parametrize("p", [0.05, 0.5, 0.95, 0.99])
+    def test_against_scipy(self, df, p):
+        stats = pytest.importorskip("scipy.stats")
+        assert chi2.ppf(p, df) == pytest.approx(float(stats.chi2.ppf(p, df)), rel=1e-9)
+
+    def test_zero_probability(self):
+        assert chi2.ppf(0.0, 3) == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            chi2.ppf(1.0, 1)
+        with pytest.raises(ValueError):
+            chi2.ppf(-0.1, 1)
+
+    def test_wilson_hilferty_seed_close(self):
+        exact = chi2.ppf(0.95, 4)
+        approx = chi2.wilson_hilferty_ppf(0.95, 4)
+        assert abs(approx - exact) / exact < 0.02
+
+
+class TestDegreesOfFreedom:
+    def test_binary_tables_have_one_dof(self):
+        assert chi2.degrees_of_freedom([2, 2]) == 1
+        assert chi2.degrees_of_freedom([2, 2, 2, 2]) == 1
+
+    def test_multinomial_rule(self):
+        # Appendix A: (u1-1)(u2-1)...(uk-1).
+        assert chi2.degrees_of_freedom([3, 4]) == 6
+        assert chi2.degrees_of_freedom([2, 3, 5]) == 8
+
+    def test_rejects_degenerate_variable(self):
+        with pytest.raises(ValueError):
+            chi2.degrees_of_freedom([2, 1])

@@ -1,0 +1,35 @@
+"""Unit tests for critical values."""
+
+import pytest
+
+from repro.stats import chi2
+from repro.stats.criticals import CHI2_95_DF1, critical_value
+
+
+class TestCriticalValue:
+    def test_paper_value(self):
+        # "3.84 at the 95% significance level" (paper §3).
+        assert critical_value(0.95, 1) == pytest.approx(3.84, abs=5e-3)
+        assert critical_value(0.95, 1) == CHI2_95_DF1
+
+    def test_table_matches_ppf(self):
+        for significance in (0.90, 0.95, 0.99):
+            for df in range(1, 6):
+                assert critical_value(significance, df) == pytest.approx(
+                    chi2.ppf(significance, df), rel=1e-9
+                )
+
+    def test_fallback_to_ppf_for_uncommon_settings(self):
+        assert critical_value(0.975, 7) == pytest.approx(chi2.ppf(0.975, 7), rel=1e-12)
+
+    def test_monotone_in_significance(self):
+        assert critical_value(0.99, 1) > critical_value(0.95, 1) > critical_value(0.90, 1)
+
+    def test_monotone_in_df(self):
+        assert critical_value(0.95, 5) > critical_value(0.95, 1)
+
+    def test_invalid_significance(self):
+        with pytest.raises(ValueError):
+            critical_value(0.0, 1)
+        with pytest.raises(ValueError):
+            critical_value(1.0, 1)

@@ -1,0 +1,93 @@
+"""Unit tests for the Monte-Carlo exact independence test."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.itemsets import Itemset
+from repro.stats.exact import permutation_p_value
+
+
+def table_2x2(o11, o01, o10, o00):
+    return ContingencyTable(
+        Itemset([0, 1]), {0b11: o11, 0b01: o01, 0b10: o10, 0b00: o00}
+    )
+
+
+class TestPermutationTest:
+    def test_independent_table_large_p(self):
+        result = permutation_p_value(table_2x2(25, 25, 25, 25), rounds=300, seed=1)
+        assert result.p_value > 0.5
+
+    def test_dependent_table_small_p(self):
+        result = permutation_p_value(table_2x2(40, 10, 10, 40), rounds=300, seed=1)
+        assert result.p_value < 0.05
+
+    def test_agrees_with_chi2_where_chi2_valid(self):
+        """On a healthy table the Monte-Carlo p tracks the chi-squared p."""
+        from repro.stats import chi2 as chi2_dist
+
+        table = table_2x2(33, 17, 22, 28)
+        result = permutation_p_value(table, rounds=2000, seed=7)
+        asymptotic = chi2_dist.sf(result.observed_statistic, 1)
+        assert result.p_value == pytest.approx(asymptotic, abs=4 * result.standard_error + 0.01)
+
+    def test_valid_on_tiny_expectations(self):
+        """Where §3.3 forbids chi-squared, the exact test still works."""
+        table = table_2x2(3, 0, 0, 5)  # expectations well below 5
+        assert not table.validity().is_valid
+        result = permutation_p_value(table, rounds=500, seed=3)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_three_way_table(self):
+        table = ContingencyTable(
+            Itemset([0, 1, 2]), {0b111: 12, 0b000: 12, 0b001: 3, 0b110: 3}
+        )
+        result = permutation_p_value(table, rounds=300, seed=5)
+        assert result.p_value < 0.2  # strongly coupled pattern
+
+    def test_deterministic_given_seed(self):
+        table = table_2x2(10, 5, 5, 10)
+        a = permutation_p_value(table, rounds=100, seed=9)
+        b = permutation_p_value(table, rounds=100, seed=9)
+        assert a.p_value == b.p_value
+
+    def test_add_one_estimator_never_zero(self):
+        result = permutation_p_value(table_2x2(50, 0, 0, 50), rounds=50, seed=2)
+        assert result.p_value >= 1.0 / 51.0
+
+    def test_standard_error_shrinks_with_rounds(self):
+        table = table_2x2(30, 20, 20, 30)
+        small = permutation_p_value(table, rounds=100, seed=4)
+        large = permutation_p_value(table, rounds=1000, seed=4)
+        assert large.standard_error < small.standard_error
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            permutation_p_value(table_2x2(1, 1, 1, 1), rounds=0)
+
+
+class TestRobustTest:
+    def test_uses_chi2_on_valid_tables(self):
+        from repro.core.correlation import robust_independence_test
+
+        result = robust_independence_test(table_2x2(40, 10, 10, 40))
+        assert result.method == "chi2"
+        assert result.correlated
+
+    def test_falls_back_to_fisher_on_small_2x2(self):
+        from repro.core.correlation import robust_independence_test
+
+        table = table_2x2(3, 0, 0, 5)
+        result = robust_independence_test(table)
+        assert result.method == "fisher"
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_falls_back_to_permutation_on_small_triple(self):
+        from repro.core.correlation import robust_independence_test
+
+        table = ContingencyTable(
+            Itemset([0, 1, 2]), {0b111: 2, 0b000: 4, 0b010: 1}
+        )
+        result = robust_independence_test(table, permutation_rounds=200)
+        assert result.method == "permutation"
+        assert 0.0 < result.p_value <= 1.0

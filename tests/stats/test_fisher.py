@@ -1,0 +1,63 @@
+"""Unit tests for the Fisher exact test."""
+
+import math
+
+import pytest
+
+from repro.stats.fisher import fisher_exact_2x2
+
+
+class TestFisherExact:
+    def test_balanced_table_p_one(self):
+        result = fisher_exact_2x2(10, 10, 10, 10)
+        assert result.p_value == pytest.approx(1.0, abs=1e-9)
+        assert result.odds_ratio == pytest.approx(1.0)
+
+    def test_strong_association_small_p(self):
+        result = fisher_exact_2x2(12, 1, 1, 12)
+        assert result.p_value < 0.001
+        assert result.odds_ratio > 100
+
+    def test_odds_ratio_infinite(self):
+        assert math.isinf(fisher_exact_2x2(5, 0, 3, 4).odds_ratio)
+
+    def test_odds_ratio_nan_when_degenerate(self):
+        assert math.isnan(fisher_exact_2x2(0, 0, 3, 4).odds_ratio)
+
+    def test_rejects_negative_cells(self):
+        with pytest.raises(ValueError):
+            fisher_exact_2x2(-1, 2, 3, 4)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            fisher_exact_2x2(0, 0, 0, 0)
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            (3, 5, 8, 2),
+            (1, 9, 11, 3),
+            (20, 14, 8, 29),
+            (0, 10, 10, 0),
+            (7, 0, 0, 9),
+            (2, 3, 4, 5),
+        ],
+    )
+    def test_against_scipy(self, table):
+        stats = pytest.importorskip("scipy.stats")
+        a, b, c, d = table
+        ours = fisher_exact_2x2(a, b, c, d)
+        theirs = stats.fisher_exact([[a, b], [c, d]], alternative="two-sided")
+        assert ours.p_value == pytest.approx(float(theirs[1]), rel=1e-9, abs=1e-12)
+
+    def test_symmetry_in_margins(self):
+        # Transposing the table leaves the p-value unchanged.
+        p1 = fisher_exact_2x2(3, 5, 8, 2).p_value
+        p2 = fisher_exact_2x2(3, 8, 5, 2).p_value
+        assert p1 == pytest.approx(p2, rel=1e-12)
+
+    def test_small_expected_cells_where_chi2_unreliable(self):
+        # The §3.3 scenario: tiny expectations break chi-squared but the
+        # exact test still yields a sane p-value.
+        result = fisher_exact_2x2(2, 0, 0, 1)
+        assert 0.0 < result.p_value <= 1.0

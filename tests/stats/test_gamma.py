@@ -1,0 +1,71 @@
+"""Unit tests for the incomplete gamma functions (cross-checked vs scipy)."""
+
+import math
+
+import pytest
+
+from repro.stats.gamma import log_gamma, lower_regularized, upper_regularized
+
+
+class TestLogGamma:
+    def test_factorials(self):
+        assert log_gamma(5.0) == pytest.approx(math.log(24.0), rel=1e-14)
+
+    def test_half_integer(self):
+        assert log_gamma(0.5) == pytest.approx(math.log(math.sqrt(math.pi)), rel=1e-14)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_gamma(0.0)
+        with pytest.raises(ValueError):
+            log_gamma(-1.5)
+
+
+class TestRegularizedGamma:
+    def test_boundaries(self):
+        assert lower_regularized(2.0, 0.0) == 0.0
+        assert upper_regularized(2.0, 0.0) == 1.0
+
+    def test_complementarity(self):
+        for a in (0.5, 1.0, 3.7, 50.0):
+            for x in (0.1, 1.0, 5.0, 60.0):
+                assert lower_regularized(a, x) + upper_regularized(a, x) == pytest.approx(
+                    1.0, abs=1e-12
+                )
+
+    def test_exponential_special_case(self):
+        # P(1, x) = 1 - exp(-x).
+        for x in (0.3, 1.0, 4.0):
+            assert lower_regularized(1.0, x) == pytest.approx(1 - math.exp(-x), rel=1e-12)
+
+    def test_monotone_in_x(self):
+        values = [lower_regularized(2.5, x) for x in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            lower_regularized(0.0, 1.0)
+        with pytest.raises(ValueError):
+            lower_regularized(1.0, -0.1)
+        with pytest.raises(ValueError):
+            upper_regularized(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            upper_regularized(1.0, -1.0)
+
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.0, 5.0, 17.3, 100.0, 1000.0])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 3.0, 10.0, 100.0, 900.0])
+    def test_against_scipy(self, a, x):
+        special = pytest.importorskip("scipy.special")
+        assert lower_regularized(a, x) == pytest.approx(
+            float(special.gammainc(a, x)), rel=1e-10, abs=1e-13
+        )
+        assert upper_regularized(a, x) == pytest.approx(
+            float(special.gammaincc(a, x)), rel=1e-10, abs=1e-13
+        )
+
+    def test_extreme_tail_keeps_precision(self):
+        special = pytest.importorskip("scipy.special")
+        # p-value of chi2 = 18504 at 1 dof: far beyond double-rounding of 1-P.
+        q = upper_regularized(0.5, 18504.81 / 2)
+        assert q == pytest.approx(float(special.gammaincc(0.5, 18504.81 / 2)), rel=1e-8)
+        assert 0.0 < q < 1e-1000 or q == 0.0 or q < 1e-300

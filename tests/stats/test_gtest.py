@@ -1,0 +1,48 @@
+"""Unit tests for the likelihood-ratio G-test."""
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.itemsets import Itemset
+from repro.stats.gtest import g_statistic
+
+
+class TestGStatistic:
+    def test_zero_for_perfect_fit(self):
+        assert g_statistic([(10.0, 10.0), (20.0, 20.0)]) == pytest.approx(0.0)
+
+    def test_skips_zero_observed(self):
+        assert g_statistic([(0.0, 5.0), (10.0, 10.0)]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        import math
+
+        cells = [(30.0, 25.0), (20.0, 25.0)]
+        expected = 2 * (30 * math.log(30 / 25) + 20 * math.log(20 / 25))
+        assert g_statistic(cells) == pytest.approx(expected, rel=1e-12)
+
+    def test_close_to_chi2_for_mild_deviation(self):
+        from repro.core.correlation import chi_squared
+
+        table = ContingencyTable(
+            Itemset([0, 1]), {0b11: 260, 0b01: 240, 0b10: 240, 0b00: 260}
+        )
+        g = g_statistic(table.observed_expected(occupied_only=True))
+        x2 = chi_squared(table)
+        assert g == pytest.approx(x2, rel=0.01)
+
+    def test_matches_scipy_power_divergence(self):
+        stats = pytest.importorskip("scipy.stats")
+        observed = [33.0, 17.0, 12.0, 38.0]
+        expected = [25.0, 25.0, 20.0, 30.0]
+        ours = g_statistic(zip(observed, expected))
+        theirs = stats.power_divergence(observed, expected, lambda_="log-likelihood")
+        assert ours == pytest.approx(float(theirs[0]), rel=1e-10)
+
+    def test_rejects_negative_observed(self):
+        with pytest.raises(ValueError):
+            g_statistic([(-1.0, 5.0)])
+
+    def test_rejects_zero_expected_with_positive_observed(self):
+        with pytest.raises(ValueError):
+            g_statistic([(3.0, 0.0)])

@@ -1,0 +1,209 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.basket import BasketDatabase
+from repro.data.io import write_named_baskets, write_numeric_baskets
+
+
+@pytest.fixture
+def basket_file(tmp_path):
+    db = BasketDatabase.from_baskets(
+        [["bread", "butter"]] * 40
+        + [["bread"]] * 10
+        + [["butter"]] * 10
+        + [["milk"]] * 20
+        + [[]] * 20
+    )
+    path = tmp_path / "baskets.txt"
+    write_named_baskets(db, path)
+    return str(path)
+
+
+class TestMineCommand:
+    def test_finds_rules(self, basket_file, capsys):
+        code = main(
+            ["mine", "--input", basket_file, "--support-count", "5", "--support-fraction", "0.3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bread butter" in out
+        assert "|CAND|" in out
+
+    def test_json_output(self, basket_file, capsys):
+        import json
+
+        code = main(
+            [
+                "mine",
+                "--input",
+                basket_file,
+                "--support-count",
+                "5",
+                "--support-fraction",
+                "0.3",
+                "--json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["significance"] == 0.95
+        assert any(rule["items"] == ["bread", "butter"] for rule in payload["rules"])
+
+    def test_limit(self, basket_file, capsys):
+        code = main(
+            [
+                "mine",
+                "--input",
+                basket_file,
+                "--support-count",
+                "5",
+                "--support-fraction",
+                "0.3",
+                "--limit",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "more" in out
+
+    def test_g_statistic_option(self, basket_file, capsys):
+        code = main(
+            ["mine", "--input", basket_file, "--support-count", "5", "--statistic", "g"]
+        )
+        assert code == 0
+
+    def test_missing_file(self, capsys):
+        code = main(["mine", "--input", "/nonexistent/baskets.txt"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_parameters(self, basket_file, capsys):
+        code = main(["mine", "--input", basket_file, "--support-fraction", "1.5"])
+        assert code == 1
+
+
+class TestAprioriCommand:
+    def test_prints_rules(self, basket_file, capsys):
+        code = main(
+            [
+                "apriori",
+                "--input",
+                basket_file,
+                "--min-support",
+                "0.1",
+                "--min-confidence",
+                "0.5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=>" in out
+        assert "frequent itemsets" in out
+
+
+class TestGenerateCommand:
+    def test_generate_quest(self, tmp_path, capsys):
+        path = tmp_path / "quest.dat"
+        code = main(
+            [
+                "generate",
+                "quest",
+                "--output",
+                str(path),
+                "--baskets",
+                "200",
+                "--items",
+                "50",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wrote 200 baskets" in out
+        from repro.data.io import read_numeric_baskets
+
+        db = read_numeric_baskets(path)
+        assert db.n_baskets == 200
+
+    def test_generate_corpus(self, tmp_path, capsys):
+        path = tmp_path / "corpus.txt"
+        code = main(["generate", "corpus", "--output", str(path), "--seed", "1996"])
+        assert code == 0
+        from repro.data.io import read_named_baskets
+
+        db = read_named_baskets(path)
+        assert db.n_baskets == 91
+
+    def test_generate_census(self, tmp_path, capsys):
+        path = tmp_path / "census.txt"
+        code = main(["generate", "census", "--output", str(path)])
+        assert code == 0
+        from repro.data.io import read_named_baskets
+
+        db = read_named_baskets(path)
+        assert db.n_baskets == 30370
+
+
+class TestNegativeCommand:
+    def test_finds_avoidance(self, tmp_path, capsys):
+        db = BasketDatabase.from_baskets(
+            [["batteries"]] * 30 + [["catfood"]] * 30 + [[]] * 40
+        )
+        path = tmp_path / "b.txt"
+        write_named_baskets(db, path)
+        code = main(
+            [
+                "negative",
+                "--input",
+                str(path),
+                "--min-item-count",
+                "20",
+                "--max-cooccurrence",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "-/->" in out
+        assert "batteries" in out and "catfood" in out
+
+
+class TestDescribeCommand:
+    def test_summary(self, basket_file, capsys):
+        code = main(["describe", "--input", basket_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baskets: 100" in out
+        assert "most frequent items:" in out
+
+    def test_numeric_input(self, tmp_path, capsys):
+        db = BasketDatabase.from_id_baskets([[0, 1], [1]], n_items=3)
+        path = tmp_path / "b.dat"
+        write_numeric_baskets(db, path)
+        code = main(["describe", "--input", str(path), "--numeric"])
+        assert code == 0
+        assert "baskets: 2" in capsys.readouterr().out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, basket_file):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "describe", "--input", basket_file],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "baskets: 100" in result.stdout
+
+    def test_no_command_shows_usage(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+def test_quickstart_runs():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "chi-squared" in result.stdout
+    assert "mined significant itemsets" in result.stdout
+
+
+def test_market_basket_pitfalls_runs():
+    result = run_example("market_basket_pitfalls.py")
+    assert result.returncode == 0, result.stderr
+    assert "NEGATIVE dependence" in result.stdout
+    assert "confidence(c,t => d)" in result.stdout
+
+
+def test_census_mining_runs():
+    result = run_example("census_mining.py")
+    assert result.returncode == 0, result.stderr
+    assert "chi-squared = 20" in result.stdout  # ~2006-2060
+    assert "impossible combinations" in result.stdout
+
+
+def test_text_mining_runs_pairs_only():
+    result = run_example("text_mining.py", "--max-level", "2")
+    assert result.returncode == 0, result.stderr
+    assert "correlated pairs:" in result.stdout
+    # The top-10 showcase must surface planted topic words (exact ranking
+    # among equal chi-squared values is unspecified).
+    assert any(word in result.stdout for word in ("mandela", "liberia", "commission"))
+
+
+def test_records_pipeline_runs():
+    result = run_example("records_pipeline.py")
+    assert result.returncode == 0, result.stderr
+    assert "significant pairs:" in result.stdout
+    assert "mean rank displacement" in result.stdout
+
+
+def test_beyond_binary_runs():
+    result = run_example("beyond_binary.py")
+    assert result.returncode == 0, result.stderr
+    assert "correlated: True" in result.stdout
+    assert "border crossings" in result.stdout
+
+
+def test_quest_pruning_runs():
+    result = run_example("quest_pruning.py", "--keep-items", "60")
+    assert result.returncode == 0, result.stderr
+    assert "|CAND|" in result.stdout
+    assert "pruning examined only" in result.stdout

@@ -1,0 +1,165 @@
+"""Failure-injection tests: malformed inputs, degenerate data, misuse.
+
+A library that will be pointed at real files and real data must fail
+loudly and precisely.  These tests feed each public entry point the
+inputs that break naive implementations: empty databases, universal or
+absent items, truncated and garbled files, inconsistent vocabularies,
+and degenerate statistical tables.
+"""
+
+import math
+
+import pytest
+
+from repro.algorithms.apriori import apriori
+from repro.algorithms.chi2support import ChiSquaredSupportMiner
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset, ItemVocabulary
+from repro.data.basket import BasketDatabase
+from repro.data.io import read_named_baskets, read_numeric_baskets
+from repro.measures.cellsupport import CellSupport
+
+
+class TestDegenerateDatabases:
+    def test_all_empty_baskets_mine_cleanly(self):
+        db = BasketDatabase.from_id_baskets([[], [], []], n_items=2)
+        result = ChiSquaredSupportMiner(support=CellSupport(1, 0.3)).mine(db)
+        assert result.rules == []
+
+    def test_universal_item(self):
+        """An item in every basket has degenerate absent-cells (E = 0)."""
+        db = BasketDatabase.from_baskets([["always", "x"], ["always"]] * 20)
+        table = ContingencyTable.from_database(db, Itemset([0, 1]))
+        # Structural zeros: O = 0 where E = 0; the statistic is finite.
+        value = chi_squared(table)
+        assert math.isfinite(value)
+
+    def test_never_occurring_item(self):
+        vocab = ItemVocabulary(["used", "ghost"])
+        db = BasketDatabase.from_baskets([["used"]] * 10, vocabulary=vocab)
+        table = ContingencyTable.from_database(db, Itemset([0, 1]))
+        assert table.marginal(1) == 0
+        assert math.isfinite(chi_squared(table))
+
+    def test_single_basket_database(self):
+        db = BasketDatabase.from_baskets([["a", "b"]])
+        result = ChiSquaredSupportMiner(support=CellSupport(1, 0.3)).mine(db)
+        # One observation can never clear the 3.84 cutoff.
+        assert result.rules == []
+
+    def test_duplicate_baskets_only(self):
+        db = BasketDatabase.from_baskets([["a", "b"]] * 50)
+        table = ContingencyTable.from_database(db, Itemset([0, 1]))
+        assert chi_squared(table) == pytest.approx(0.0, abs=1e-9)
+
+    def test_miner_on_single_item_vocabulary(self):
+        db = BasketDatabase.from_baskets([["only"]] * 5 + [[]] * 5)
+        result = ChiSquaredSupportMiner(support=CellSupport(1, 0.3)).mine(db)
+        assert result.rules == []  # no pairs exist
+
+    def test_apriori_threshold_above_n(self):
+        db = BasketDatabase.from_baskets([["a"]] * 5)
+        result = apriori(db, min_support_count=6)
+        assert len(result) == 0
+
+
+class TestMalformedFiles:
+    def test_numeric_file_with_float_tokens(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("0 1.5\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_numeric_baskets(path)
+
+    def test_numeric_file_with_negative_ids(self, tmp_path):
+        path = tmp_path / "bad.dat"
+        path.write_text("0 -3\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_numeric_baskets(path)
+
+    def test_named_file_with_odd_whitespace(self, tmp_path):
+        path = tmp_path / "odd.txt"
+        path.write_text("a\t b   c\n\n  \n", encoding="utf-8")
+        db = read_named_baskets(path)
+        assert db.n_baskets == 3
+        assert db.basket_names(0) == ("a", "b", "c")
+        assert db[1] == db[2] == ()
+
+    def test_named_file_unicode_items(self, tmp_path):
+        path = tmp_path / "unicode.txt"
+        path.write_text("café straße\ncafé\n", encoding="utf-8")
+        db = read_named_baskets(path)
+        assert "café" in db.vocabulary
+        assert db.item_count(db.vocabulary.id_of("café")) == 2
+
+    def test_directory_instead_of_file(self, tmp_path):
+        with pytest.raises((IsADirectoryError, PermissionError, OSError)):
+            read_named_baskets(tmp_path)
+
+
+class TestStatisticalDegeneracy:
+    def test_table_with_single_occupied_cell(self):
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 10})
+        # Both marginals saturated: every absent-cell expectation is 0.
+        assert chi_squared(table) == pytest.approx(0.0, abs=1e-9)
+
+    def test_float_counts_from_percentages(self):
+        table = ContingencyTable.from_percentages(
+            Itemset([0, 1]), {0b11: 33.3, 0b01: 33.3, 0b10: 33.3, 0b00: 0.1}
+        )
+        assert math.isfinite(chi_squared(table))
+
+    def test_interest_of_everything_absent(self):
+        from repro.core.interest import interest
+
+        table = ContingencyTable(Itemset([0, 1]), {0b00: 100})
+        assert math.isnan(interest(table, 0b11))
+
+    def test_validity_on_degenerate_table(self):
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 10})
+        validity = table.validity()
+        assert not validity.is_valid
+        assert validity.min_expected == 0.0
+
+
+class TestVocabularyMisuse:
+    def test_mixed_vocabularies_caught_by_ids(self):
+        db = BasketDatabase.from_baskets([["a"]])
+        other_vocab = ItemVocabulary(["x", "y", "z"])
+        # Ids beyond the database's vocabulary raise on bitmap access.
+        with pytest.raises(IndexError):
+            db.item_bitmap(2)
+
+    def test_encode_unknown_name(self):
+        vocab = ItemVocabulary(["a"])
+        with pytest.raises(KeyError):
+            vocab.encode(["missing"])
+
+    def test_support_of_out_of_range_item(self):
+        db = BasketDatabase.from_baskets([["a"]])
+        with pytest.raises(IndexError):
+            db.support_count(Itemset([7]))
+
+
+class TestMinerParameterEdges:
+    def test_support_fraction_one(self):
+        """p = 1: every cell must reach s — the strictest legal setting."""
+        db = BasketDatabase.from_baskets(
+            [["a", "b"]] * 25 + [["a"]] * 25 + [["b"]] * 25 + [[]] * 25
+        )
+        result = ChiSquaredSupportMiner(support=CellSupport(25, 1.0)).mine(db)
+        # Supported (all four cells = 25) but perfectly independent.
+        assert result.rules == []
+        assert Itemset([0, 1]) in result.supported_uncorrelated
+
+    def test_zero_significance_forbidden(self):
+        with pytest.raises(ValueError):
+            ChiSquaredSupportMiner(significance=0.0)
+
+    def test_max_level_below_two_yields_nothing(self):
+        db = BasketDatabase.from_baskets([["a", "b"]] * 10)
+        result = ChiSquaredSupportMiner(
+            support=CellSupport(1, 0.3), max_level=1
+        ).mine(db)
+        assert result.rules == []
+        assert result.level_stats == []

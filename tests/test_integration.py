@@ -1,0 +1,211 @@
+"""End-to-end integration tests: full pipelines over the paper's datasets."""
+
+import pytest
+
+from repro import (
+    ChiSquaredSupportMiner,
+    CellSupport,
+    RandomWalkMiner,
+    apriori,
+    generate_rules,
+    mine_correlations,
+)
+from repro.core.itemsets import Itemset
+from repro.data.corpusgen import generate_news_corpus
+from repro.data.quest import QuestParameters, generate_quest
+from repro.data.text import TextPipeline
+
+
+class TestCensusPipeline:
+    def test_full_mine_at_paper_settings(self, census_db):
+        """Mining the census at 95% / 1% support reproduces §5.1's shape:
+        most pairs correlated, the immigration/children pairs not."""
+        support = CellSupport(count=0.01 * census_db.n_baskets, fraction=0.26)
+        result = ChiSquaredSupportMiner(significance=0.95, support=support).mine(census_db)
+        significant_pairs = {r.itemset for r in result.rules if len(r.itemset) == 2}
+        # "so many pairs are correlated": at least 35 of 45.
+        assert len(significant_pairs) >= 35
+        # "we are struck by {i1, i4} and {i1, i5}, which are not".
+        assert Itemset([1, 4]) not in significant_pairs
+        assert Itemset([1, 5]) not in significant_pairs
+        # Example 4's pair is among them.
+        assert Itemset([2, 7]) in significant_pairs
+
+    def test_minimality_pushes_triples_out(self, census_db):
+        """With nearly every pair correlated, minimal triples are rare."""
+        support = CellSupport(count=0.01 * census_db.n_baskets, fraction=0.26)
+        result = ChiSquaredSupportMiner(significance=0.95, support=support).mine(census_db)
+        pairs = sum(1 for r in result.rules if len(r.itemset) == 2)
+        triples = sum(1 for r in result.rules if len(r.itemset) == 3)
+        assert triples < pairs
+
+    def test_random_walk_agrees_on_census_pairs(self, census_db):
+        support = CellSupport(count=0.01 * census_db.n_baskets, fraction=0.26)
+        exact = ChiSquaredSupportMiner(significance=0.95, support=support).mine(census_db)
+        sampled = RandomWalkMiner(support=support, n_walks=150, seed=3).mine(census_db)
+        exact_pairs = {r.itemset for r in exact.rules if len(r.itemset) == 2}
+        sampled_pairs = {r.itemset for r in sampled.rules if len(r.itemset) == 2}
+        assert sampled_pairs <= exact_pairs
+        assert len(sampled_pairs) > 10
+
+
+class TestTextPipeline:
+    @pytest.fixture(scope="class")
+    def text_db(self):
+        return TextPipeline().run(generate_news_corpus())
+
+    def test_corpus_shape(self, text_db):
+        # 91 documents; a few hundred surviving words, as in §5.2.
+        assert text_db.n_baskets == 91
+        assert 50 <= text_db.n_items <= 600
+
+    def test_planted_correlations_recovered(self, text_db):
+        # max_level=3: like the paper, we report word pairs and triples;
+        # the uncorrelated background vocabulary makes deeper levels
+        # combinatorially explosive without adding reportable rules.
+        support = CellSupport(count=5, fraction=0.3)
+        result = ChiSquaredSupportMiner(
+            significance=0.95, support=support, max_level=3
+        ).mine(text_db)
+        found = {r.itemset for r in result.rules}
+        mandela = text_db.vocabulary.encode(["mandela", "nelson"])
+        liberia = text_db.vocabulary.encode(["liberia", "west"])
+        assert mandela in found
+        assert liberia in found
+
+    def test_major_dependence_is_co_presence(self, text_db):
+        support = CellSupport(count=5, fraction=0.3)
+        result = ChiSquaredSupportMiner(
+            significance=0.95, support=support, max_level=2
+        ).mine(text_db)
+        mandela = text_db.vocabulary.encode(["mandela", "nelson"])
+        rule = result.rule_for(mandela)
+        assert rule is not None
+        assert rule.major_dependence().pattern == (True, True)
+
+
+class TestQuestPipeline:
+    @pytest.fixture(scope="class")
+    def quest_db(self):
+        return generate_quest(
+            QuestParameters(n_transactions=5000, n_items=150, n_patterns=80, seed=11)
+        )
+
+    def test_mining_terminates_with_stats(self, quest_db):
+        counts = sorted(quest_db.item_counts(), reverse=True)
+        s = counts[30]
+        support = CellSupport(count=s, fraction=0.6)
+        result = ChiSquaredSupportMiner(significance=0.95, support=support).mine(quest_db)
+        assert result.level_stats[0].level == 2
+        stats = result.level_stats[0]
+        assert stats.candidates == stats.discarded + stats.significant + stats.not_significant
+
+    def test_pruning_reduces_examined(self, quest_db):
+        counts = sorted(quest_db.item_counts(), reverse=True)
+        s = counts[30]
+        support = CellSupport(count=s, fraction=0.6)
+        result = ChiSquaredSupportMiner(significance=0.95, support=support).mine(quest_db)
+        total_lattice = sum(level.lattice_itemsets for level in result.level_stats)
+        assert result.items_examined < total_lattice / 10
+
+    def test_apriori_on_quest(self, quest_db):
+        result = apriori(quest_db, min_support=0.02, max_size=3)
+        rules = generate_rules(result, min_confidence=0.6)
+        # Planted patterns guarantee some confident rules.
+        assert len(result) > 0
+        assert all(r.confidence >= 0.6 for r in rules)
+
+
+class TestCrossSystemPipelines:
+    def test_streaming_quest_file_mining(self, tmp_path):
+        """Generate Quest data, write it to disk, mine it as a stream."""
+        from repro.data.io import write_numeric_baskets
+        from repro.data.streaming import StreamingBasketDatabase
+
+        db = generate_quest(
+            QuestParameters(n_transactions=2000, n_items=80, n_patterns=40, seed=17)
+        )
+        path = tmp_path / "quest.dat"
+        write_numeric_baskets(db, path)
+        stream = StreamingBasketDatabase(path, numeric=True)
+
+        counts = sorted(db.item_counts(), reverse=True)
+        support = CellSupport(count=counts[20], fraction=0.6)
+        in_memory = ChiSquaredSupportMiner(support=support, max_level=2).mine(db)
+        streamed = ChiSquaredSupportMiner(
+            support=support, max_level=2, counting="single_pass"
+        ).mine(stream)
+        assert {r.itemset for r in streamed.rules} == {
+            r.itemset for r in in_memory.rules
+        }
+
+    def test_toivonen_agrees_with_apriori_on_quest(self):
+        from repro.algorithms.sampling import toivonen_sample_mine
+
+        db = generate_quest(
+            QuestParameters(n_transactions=3000, n_items=60, n_patterns=30, seed=19)
+        )
+        result = toivonen_sample_mine(
+            db, min_support=0.05, sample_fraction=0.5, lowering=0.7, max_size=3, seed=2
+        )
+        exact = apriori(db, min_support=0.05, max_size=3)
+        if result.complete:
+            assert set(result.frequent) == set(exact.counts)
+        for itemset, count in result.frequent.items():
+            assert count == exact.counts.get(itemset, db.support_count(itemset))
+
+    def test_cli_mine_reproduces_example4_decision(self, tmp_path, capsys):
+        """End to end through the CLI: census file in, i2/i7 rule out."""
+        from repro.cli import main
+        from repro.data.io import write_named_baskets
+
+        # Synthesize a smaller deterministic slice; the pairwise
+        # structure is preserved by the IPF construction.
+        from repro.data.census import synthesize_census
+
+        db = synthesize_census(n=10_000)
+        path = tmp_path / "census.txt"
+        write_named_baskets(db, path)
+        code = main(
+            [
+                "mine",
+                "--input",
+                str(path),
+                "--support-count",
+                "100",
+                "--support-fraction",
+                "0.26",
+                "--limit",
+                "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "i2 i7" in out
+
+    def test_robust_test_on_census_pair(self, census_db):
+        """The healthy census pairs go through the chi-squared branch."""
+        from repro.core.contingency import ContingencyTable
+        from repro.core.correlation import robust_independence_test
+
+        table = ContingencyTable.from_database(census_db, Itemset([2, 7]))
+        result = robust_independence_test(table)
+        assert result.method == "chi2"
+        assert result.correlated
+
+
+class TestPublicAPISurface:
+    def test_star_import_clean(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        from repro import BasketDatabase, mine_correlations
+
+        db = BasketDatabase.from_baskets(
+            [["tea", "coffee"]] * 45 + [["tea"]] * 5 + [["coffee"]] * 25 + [[]] * 25
+        )
+        result = mine_correlations(db, significance=0.95, support_count=5, support_fraction=0.3)
+        assert [db.vocabulary.decode(r.itemset) for r in result.rules] == [("tea", "coffee")]
