@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples docs-check all
+.PHONY: install test test-fast test-all bench examples docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1: everything except tests marked @pytest.mark.slow (worker-pool
+# spin-ups, large property sweeps) — the quick pre-commit gate.  Works
+# from a bare checkout: src/ is put on PYTHONPATH, no install needed.
+test-fast:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+# The full suite, slow markers included.
+test-all:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

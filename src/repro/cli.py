@@ -66,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--support-fraction", type=float, default=0.26, help="cell fraction p")
     mine.add_argument("--max-level", type=int, default=None)
     mine.add_argument("--statistic", choices=["chi2", "g"], default="chi2")
+    mine.add_argument(
+        "--counting",
+        choices=["bitmap", "single_pass", "cube", "parallel"],
+        default="bitmap",
+        help="contingency-table counting backend",
+    )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --counting parallel (default: all cores)",
+    )
+    mine.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="LRU contingency-table cache capacity for --counting parallel",
+    )
     mine.add_argument("--limit", type=int, default=50, help="print at most this many rules")
     mine.add_argument(
         "--json", action="store_true", help="emit the full result as JSON instead of text"
@@ -107,6 +125,9 @@ def _command_mine(args: argparse.Namespace) -> int:
         support=CellSupport(count=args.support_count, fraction=args.support_fraction),
         max_level=args.max_level,
         statistic=args.statistic,
+        counting=args.counting,
+        workers=args.workers,
+        cache_size=args.cache_size,
     )
     result = miner.mine(db)
     if args.json:

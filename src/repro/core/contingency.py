@@ -34,6 +34,7 @@ from repro.data.basket import BasketDatabase
 __all__ = [
     "ContingencyTable",
     "ExpectedValueValidity",
+    "count_cells",
     "count_tables_single_pass",
 ]
 
@@ -116,12 +117,7 @@ class ContingencyTable:
         marginals are exactly the database item counts.  This is the
         miner's hottest allocation site.
         """
-        if len(itemset) == 0:
-            raise ValueError("a contingency table needs at least one item")
-        if len(itemset) <= _MAX_DENSE_ITEMS:
-            counts = _cells_by_moebius(db, itemset)
-        else:
-            counts = _cells_by_scan(db, itemset)
+        counts = count_cells(db, itemset)
         table = object.__new__(cls)
         table._itemset = itemset
         table._n = db.n_baskets
@@ -307,6 +303,21 @@ class ContingencyTable:
             f"ContingencyTable(itemset={self._itemset!r}, n={self._n}, "
             f"occupied={self.n_occupied}/{self.n_cells})"
         )
+
+
+def count_cells(db: BasketDatabase, itemset: Itemset) -> dict[int, int]:
+    """Exact sparse cell counts (cell index -> count) for one itemset.
+
+    The shared counting kernel behind :meth:`ContingencyTable.from_database`
+    and the sharded parallel engine (`repro.parallel`): narrow itemsets go
+    through the bitmap/Möbius path, wide ones through one sparse scan.
+    Counts cover the whole database, so they sum to ``db.n_baskets``.
+    """
+    if len(itemset) == 0:
+        raise ValueError("a contingency table needs at least one item")
+    if len(itemset) <= _MAX_DENSE_ITEMS:
+        return _cells_by_moebius(db, itemset)
+    return _cells_by_scan(db, itemset)
 
 
 def _cells_pair(db: BasketDatabase, a: int, b: int) -> dict[int, int]:

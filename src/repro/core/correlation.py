@@ -61,12 +61,22 @@ def chi_squared_dense(table: ContingencyTable) -> float:
 
 
 def chi_squared_sparse(table: ContingencyTable) -> float:
-    """Occupied-cells-only chi-squared via the paper's massaged formula."""
+    """Occupied-cells-only chi-squared via the paper's massaged formula.
+
+    Cells are visited in ascending index order: float addition is not
+    associative, and the occupied-cell dict's insertion order differs
+    between counting backends (bitmap closed forms, single-pass scans,
+    datacube roll-ups, shard merges).  A canonical summation order keeps
+    the statistic bit-identical across all of them — which the
+    differential backend-equivalence suite asserts.
+    """
     n = table.n
     probabilities = table.marginal_probabilities()
     k = len(probabilities)
     total = 0.0
-    for cell, observed in table.nonzero_counts().items():
+    counts = table.nonzero_counts()
+    for cell in sorted(counts):
+        observed = counts[cell]
         expected = n
         for j in range(k):
             p = probabilities[j]

@@ -66,12 +66,19 @@ def mine_correlations(
     support_count: float = 1,
     support_fraction: float = 0.26,
     max_level: int | None = None,
+    counting: str = "bitmap",
+    workers: int | None = None,
+    cache_size: int = 256,
     **kwargs: object,
 ) -> "MiningResult":
     """Mine all significant (supported, minimally correlated) itemsets.
 
     The main entry point; see :class:`ChiSquaredSupportMiner` for the
-    advanced knobs reachable through ``kwargs``.
+    advanced knobs reachable through ``kwargs``.  ``counting`` selects
+    the table-counting backend (``"bitmap"``, ``"single_pass"``,
+    ``"cube"``, or the sharded multi-process ``"parallel"``); ``workers``
+    and ``cache_size`` configure the parallel engine and are ignored by
+    the serial backends.
     """
     from repro.algorithms.chi2support import ChiSquaredSupportMiner
 
@@ -79,6 +86,9 @@ def mine_correlations(
         significance=significance,
         support=CellSupport(count=support_count, fraction=support_fraction),
         max_level=max_level,
+        counting=counting,
+        workers=workers,
+        cache_size=cache_size,
         **kwargs,  # type: ignore[arg-type]
     )
     return miner.mine(db)

@@ -1,0 +1,22 @@
+"""Sharded parallel counting (`repro.parallel`).
+
+The scaling subsystem for the counting layer: row-shard a basket
+database, count per-shard contingency cells across worker processes,
+merge by the shard-sum identity, and memoise finished tables in a
+bounded LRU cache.  :class:`ParallelCountingEngine` is the entry point;
+the chi-squared-support miner reaches it through
+``counting="parallel"``.
+"""
+
+from repro.parallel.cache import TableCache
+from repro.parallel.engine import CountingError, ParallelCountingEngine
+from repro.parallel.sharding import Shard, merge_shard_counts, shard_database
+
+__all__ = [
+    "CountingError",
+    "ParallelCountingEngine",
+    "Shard",
+    "TableCache",
+    "merge_shard_counts",
+    "shard_database",
+]

@@ -1,0 +1,83 @@
+"""A bounded LRU cache for contingency tables.
+
+Rule ranking, ``compare_frameworks``, and interactive CLI re-queries all
+probe the same handful of itemsets repeatedly; counting is the expensive
+part, so the engine memoises finished tables here.  The cache is a plain
+ordered-dict LRU keyed by :class:`~repro.core.itemsets.Itemset` — safe
+because both the key and the cached :class:`ContingencyTable` are
+immutable, and the engine is bound to a single (immutable) database, so
+entries never go stale within an engine's lifetime.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.contingency import ContingencyTable
+from repro.core.itemsets import Itemset
+
+__all__ = ["TableCache"]
+
+
+class TableCache:
+    """Bounded LRU mapping of itemset -> contingency table.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    :meth:`put` is a no-op), which keeps the engine's call sites free of
+    conditionals.
+
+    >>> from repro.core.itemsets import Itemset
+    >>> cache = TableCache(capacity=2)
+    >>> t = ContingencyTable(Itemset([0]), {1: 3, 0: 2})
+    >>> cache.put(t.itemset, t)
+    >>> cache.get(Itemset([0])) is t
+    True
+    >>> cache.hits, cache.misses
+    (1, 0)
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Itemset, ContingencyTable] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, itemset: Itemset) -> bool:
+        return itemset in self._entries
+
+    def get(self, itemset: Itemset) -> ContingencyTable | None:
+        """Return the cached table (refreshing recency) or ``None``."""
+        table = self._entries.get(itemset)
+        if table is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(itemset)
+        self.hits += 1
+        return table
+
+    def put(self, itemset: Itemset, table: ContingencyTable) -> None:
+        """Insert a table, evicting the least recently used beyond capacity."""
+        if self.capacity <= 0:
+            return
+        if itemset in self._entries:
+            self._entries.move_to_end(itemset)
+        self._entries[itemset] = table
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"TableCache(capacity={self.capacity}, size={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

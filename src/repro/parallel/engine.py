@@ -1,0 +1,309 @@
+"""The sharded parallel counting engine.
+
+:class:`ParallelCountingEngine` is the scaling layer between a
+:class:`~repro.data.basket.BasketDatabase` and anything that needs
+contingency tables — the chi-squared-support miner's
+``counting="parallel"`` backend, rule ranking, interactive probes.  It
+has three moving parts:
+
+1. **Sharding** — the database is partitioned once into contiguous row
+   shards (`repro.parallel.sharding`), each able to count cells for a
+   batch of itemsets on its own vertical bitmaps.
+2. **A worker pool** — shards are shipped to ``multiprocessing`` workers
+   once (pool initializer) and afterwards addressed by index; a counting
+   batch fans one task per shard out and merges the returned sparse
+   dicts, exploiting that any cell count is a sum over shards.  With
+   ``workers=1``, or whenever a pool cannot be created or misbehaves,
+   counting runs in-process over the full database — the deterministic
+   serial path, which produces bit-identical tables.
+3. **A bounded LRU table cache** (`repro.parallel.cache`) keyed by
+   itemset, so repeated probes skip recounting entirely.
+
+Failure semantics: a crashed worker or a task outliving ``task_timeout``
+raises :class:`CountingError` (never hangs).  With ``fallback_serial``
+(the default) the engine logs the failure, permanently degrades to the
+serial path, and still returns exact results; with it disabled the error
+propagates to the caller.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.core.contingency import ContingencyTable, count_cells
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.parallel.cache import TableCache
+from repro.parallel.sharding import Shard, merge_shard_counts, shard_database
+
+__all__ = ["CountingError", "ParallelCountingEngine"]
+
+logger = logging.getLogger("repro.parallel")
+
+
+class CountingError(RuntimeError):
+    """A parallel counting batch failed (worker crash, timeout, broken pool)."""
+
+
+# Worker-side state: the shard list arrives once via the pool initializer
+# so per-batch messages carry only a shard index and the candidate tuples.
+_WORKER_SHARDS: list[Shard] = []
+
+
+def _init_worker(shards: list[Shard]) -> None:
+    global _WORKER_SHARDS
+    _WORKER_SHARDS = shards
+
+
+def _count_task(shard_index: int, candidates: Sequence[tuple[int, ...]]):
+    return _WORKER_SHARDS[shard_index].count_cells(candidates)
+
+
+class ParallelCountingEngine:
+    """Sharded, cached contingency-table counting over one database.
+
+    Parameters:
+        db: the database to count over (immutable for the engine's life).
+        workers: worker processes; ``None`` means ``os.cpu_count()``.
+            ``1`` selects the deterministic in-process serial path.
+        n_shards: row shards; defaults to ``workers`` (capped at the
+            basket count).  More shards than workers smooths load
+            imbalance at the cost of more merge work.
+        cache_size: LRU capacity in tables; ``0`` disables caching.
+        task_timeout: seconds a single batch may take before the engine
+            declares the pool poisoned; ``None`` waits forever.
+        fallback_serial: on pool failure, degrade to serial counting
+            instead of raising :class:`CountingError`.
+        mp_context: a ``multiprocessing`` context (or start-method name)
+            to use instead of the default (``fork`` where available).
+
+    >>> db = BasketDatabase.from_baskets([["a", "b"]] * 3 + [["a"]] * 2 + [[]] * 5)
+    >>> with ParallelCountingEngine(db, workers=1) as engine:
+    ...     table = engine.table_for(Itemset([0, 1]))
+    >>> dict(table.nonzero_counts()) == {0b11: 3, 0b01: 2, 0b00: 5}
+    True
+    """
+
+    def __init__(
+        self,
+        db: BasketDatabase,
+        workers: int | None = None,
+        n_shards: int | None = None,
+        cache_size: int = 256,
+        task_timeout: float | None = 120.0,
+        fallback_serial: bool = True,
+        mp_context=None,
+    ) -> None:
+        if workers is None:
+            workers = multiprocessing.cpu_count()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if n_shards is not None and n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        self.db = db
+        self.workers = workers
+        self.task_timeout = task_timeout
+        self.fallback_serial = fallback_serial
+        self.cache = TableCache(cache_size)
+        self._mp_context = mp_context
+        self._shards: list[Shard] | None = None
+        self._n_shards = n_shards if n_shards is not None else workers
+        self._pool = None
+        self._pool_broken = False
+        self.degraded = False
+        # Observability counters for benchmarks and the CLI.
+        self.tasks_dispatched = 0
+        self.parallel_batches = 0
+        self.serial_batches = 0
+        self.fallbacks = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def shards(self) -> list[Shard]:
+        """The row shards (built lazily, before any pool exists)."""
+        if self._shards is None:
+            self._shards = shard_database(self.db, self._n_shards)
+        return self._shards
+
+    def _context(self):
+        if self._mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            return multiprocessing.get_context("fork" if "fork" in methods else None)
+        if isinstance(self._mp_context, str):
+            return multiprocessing.get_context(self._mp_context)
+        return self._mp_context
+
+    def _ensure_pool(self):
+        """The worker pool, created on first use; ``None`` if unusable."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_broken:
+            return None
+        try:
+            context = self._context()
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.shards,),
+            )
+        except Exception as error:  # pool creation can fail in sandboxes
+            logger.warning("worker pool unavailable (%s); using serial counting", error)
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._pool_broken = True
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelCountingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- counting -------------------------------------------------------------
+
+    def table_for(self, itemset: Itemset) -> ContingencyTable:
+        """The contingency table of one itemset (cache, then count)."""
+        return self.count_tables([itemset])[itemset]
+
+    def count_tables(
+        self, itemsets: Iterable[Itemset]
+    ) -> dict[Itemset, ContingencyTable]:
+        """Contingency tables for a batch of itemsets.
+
+        Cached tables are returned immediately; the rest are counted in
+        one sharded batch (or serially — see the class docstring for the
+        degradation rules) and inserted into the cache.  The returned
+        dict preserves first-seen input order.
+        """
+        ordered: list[Itemset] = []
+        results: dict[Itemset, ContingencyTable] = {}
+        missing: list[Itemset] = []
+        for itemset in itemsets:
+            if itemset in results:
+                continue
+            ordered.append(itemset)
+            cached = self.cache.get(itemset)
+            if cached is not None:
+                results[itemset] = cached
+            else:
+                missing.append(itemset)
+
+        if missing:
+            for itemset, table in zip(missing, self._count_batch(missing)):
+                self.cache.put(itemset, table)
+                results[itemset] = table
+        return {itemset: results[itemset] for itemset in ordered}
+
+    # -- internals ------------------------------------------------------------
+
+    def _count_batch(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
+        if self.workers == 1 or self._pool_broken or self.degraded:
+            return self._count_serial(itemsets)
+        try:
+            return self._count_parallel(itemsets)
+        except CountingError as error:
+            if not self.fallback_serial:
+                raise
+            logger.warning("parallel counting failed (%s); falling back to serial", error)
+            self.fallbacks += 1
+            self.degraded = True
+            return self._count_serial(itemsets)
+
+    def _count_serial(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
+        """In-process counting over the full database (the reference path)."""
+        self.serial_batches += 1
+        n = self.db.n_baskets
+        return [
+            self._build_table(itemset, count_cells(self.db, itemset), n)
+            for itemset in itemsets
+        ]
+
+    def _count_parallel(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
+        """One task per shard, merged by the shard-sum identity."""
+        pool = self._ensure_pool()
+        if pool is None:
+            raise CountingError("worker pool could not be created")
+        candidates = [itemset.items for itemset in itemsets]
+        deadline = (
+            time.monotonic() + self.task_timeout if self.task_timeout is not None else None
+        )
+        try:
+            pending = [
+                pool.apply_async(_count_task, (shard.index, candidates))
+                for shard in self.shards
+            ]
+            self.tasks_dispatched += len(pending)
+            per_shard: list[list[dict[int, int]]] = []
+            for shard, result in zip(self.shards, pending):
+                if deadline is None:
+                    per_shard.append(result.get())
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise multiprocessing.TimeoutError
+                per_shard.append(result.get(timeout=remaining))
+        except multiprocessing.TimeoutError:
+            self._discard_pool()
+            raise CountingError(
+                f"counting batch exceeded task_timeout={self.task_timeout}s "
+                f"(shard hung or pool starved)"
+            ) from None
+        except CountingError:
+            raise
+        except Exception as error:
+            self._discard_pool()
+            raise CountingError(f"worker failed while counting: {error}") from error
+        self.parallel_batches += 1
+        merged = merge_shard_counts(per_shard)
+        n = self.db.n_baskets
+        return [
+            self._build_table(itemset, cells, n)
+            for itemset, cells in zip(itemsets, merged)
+        ]
+
+    @staticmethod
+    def _build_table(itemset: Itemset, cells: dict[int, int], n: int) -> ContingencyTable:
+        """Assemble a table from exact kernel counts, like ``from_database``.
+
+        Bypasses the validating constructor (counts are sound by
+        construction) and derives marginals from the cells, so serial and
+        merged paths produce identical tables.
+        """
+        k = len(itemset)
+        occupied = {cell: count for cell, count in cells.items() if count}
+        marginals = [0.0] * k
+        for cell, count in occupied.items():
+            for j in range(k):
+                if (cell >> j) & 1:
+                    marginals[j] += count
+        table = object.__new__(ContingencyTable)
+        table._itemset = itemset
+        table._n = n
+        table._counts = occupied
+        table._marginals = tuple(marginals)
+        return table

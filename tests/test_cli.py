@@ -52,6 +52,34 @@ class TestMineCommand:
         assert payload["significance"] == 0.95
         assert any(rule["items"] == ["bread", "butter"] for rule in payload["rules"])
 
+    def test_parallel_backend_matches_default(self, basket_file, capsys):
+        """--counting parallel --workers/--cache-size mine the same rules."""
+        base_args = [
+            "mine", "--input", basket_file,
+            "--support-count", "5", "--support-fraction", "0.3", "--json",
+        ]
+        assert main(base_args) == 0
+        default_out = capsys.readouterr().out
+        assert (
+            main(
+                base_args
+                + ["--counting", "parallel", "--workers", "1", "--cache-size", "64"]
+            )
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == default_out
+
+    def test_rejects_zero_workers(self, basket_file, capsys):
+        code = main(
+            [
+                "mine", "--input", basket_file,
+                "--counting", "parallel", "--workers", "0",
+            ]
+        )
+        assert code == 1
+        assert "workers" in capsys.readouterr().err
+
     def test_limit(self, basket_file, capsys):
         code = main(
             [

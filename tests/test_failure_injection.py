@@ -141,6 +141,102 @@ class TestVocabularyMisuse:
             db.support_count(Itemset([7]))
 
 
+class TestParallelCountingFailures:
+    """Worker-crash / pool-timeout paths of the sharded parallel engine.
+
+    The engine must never hang: a poisoned shard (its ``fault`` hook
+    injects a crash or a hang) surfaces as a clear
+    :class:`~repro.parallel.CountingError` within the task timeout, and
+    with ``fallback_serial`` the engine degrades to in-process counting
+    and still returns exact results.
+    """
+
+    def _db(self):
+        return BasketDatabase.from_id_baskets(
+            [[0, 1], [0], [1], [0, 1, 2], []] * 40, n_items=3
+        )
+
+    def _reference_counts(self, db):
+        return dict(ContingencyTable.from_database(db, Itemset([0, 1])).nonzero_counts())
+
+    def test_poisoned_shard_raises_counting_error(self):
+        from repro.parallel import CountingError, ParallelCountingEngine
+
+        db = self._db()
+        with ParallelCountingEngine(
+            db, workers=2, fallback_serial=False, task_timeout=30.0
+        ) as engine:
+            engine.shards[0].fault = "crash"
+            with pytest.raises(CountingError, match="injected crash in shard 0"):
+                engine.count_tables([Itemset([0, 1])])
+
+    @pytest.mark.slow
+    def test_pool_timeout_raises_instead_of_hanging(self):
+        from repro.parallel import CountingError, ParallelCountingEngine
+
+        db = self._db()
+        with ParallelCountingEngine(
+            db, workers=2, fallback_serial=False, task_timeout=0.75
+        ) as engine:
+            engine.shards[1].fault = "hang"
+            with pytest.raises(CountingError, match="task_timeout"):
+                engine.count_tables([Itemset([0, 1])])
+
+    def test_poisoned_shard_falls_back_to_serial(self):
+        from repro.parallel import ParallelCountingEngine
+
+        db = self._db()
+        with ParallelCountingEngine(db, workers=2, task_timeout=30.0) as engine:
+            engine.shards[0].fault = "crash"
+            tables = engine.count_tables([Itemset([0, 1])])
+            assert engine.degraded
+            assert engine.fallbacks == 1
+            assert dict(tables[Itemset([0, 1])].nonzero_counts()) == (
+                self._reference_counts(db)
+            )
+            # Once degraded, later batches go straight to the (working)
+            # serial path without touching the broken pool again.
+            engine.count_tables([Itemset([1, 2])])
+            assert engine.fallbacks == 1
+
+    def test_pool_unavailable_falls_back_to_serial(self):
+        from repro.parallel import ParallelCountingEngine
+
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        db = self._db()
+        with ParallelCountingEngine(db, workers=2, mp_context=BrokenContext()) as engine:
+            tables = engine.count_tables([Itemset([0, 1])])
+            assert engine.degraded
+            assert dict(tables[Itemset([0, 1])].nonzero_counts()) == (
+                self._reference_counts(db)
+            )
+
+    def test_pool_unavailable_propagates_without_fallback(self):
+        from repro.parallel import CountingError, ParallelCountingEngine
+
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        db = self._db()
+        with ParallelCountingEngine(
+            db, workers=2, mp_context=BrokenContext(), fallback_serial=False
+        ) as engine:
+            with pytest.raises(CountingError, match="pool could not be created"):
+                engine.count_tables([Itemset([0, 1])])
+
+    def test_miner_rejects_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ChiSquaredSupportMiner(counting="parallel", workers=0)
+
+    def test_miner_rejects_unknown_counting(self):
+        with pytest.raises(ValueError):
+            ChiSquaredSupportMiner(counting="sharded")
+
+
 class TestMinerParameterEdges:
     def test_support_fraction_one(self):
         """p = 1: every cell must reach s — the strictest legal setting."""

@@ -1,0 +1,151 @@
+"""Golden-fixture regression tests for the paper's headline runs.
+
+Small checked-in JSON snapshots (`tests/golden/`) of the Example 1
+tea/coffee mine, the Example 4 military/age correlation, and the census
+Table 2 pair sweep.  Future refactors of the counting or statistics
+layers cannot silently change mined borders, statistics, or major
+dependences: any drift fails here with a precise path into the payload.
+
+To regenerate after an *intentional* behaviour change::
+
+    GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
+
+then review the JSON diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset
+from repro.core.mining import compare_frameworks, correlation_rule, mine_correlations
+from repro.core.report import mining_result_to_dict, rule_to_dict
+from repro.data.basket import BasketDatabase
+from repro.stats.criticals import CHI2_95_DF1
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGENERATE = os.environ.get("GOLDEN_REGENERATE") == "1"
+
+# Floats are stored at full repr precision; comparison allows for
+# last-ulp drift from harmless arithmetic reassociation.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _assert_matches(actual, expected, path="$"):
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE, abs=1e-12), path
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(expected), path
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), path
+        assert len(actual) == len(expected), path
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{index}]")
+    else:
+        assert actual == expected, path
+
+
+def _check_against_golden(name: str, payload: dict) -> None:
+    # Round-trip through JSON so the comparison sees exactly what a
+    # reader of the fixture file sees (tuples -> lists, NaN policy...).
+    payload = json.loads(json.dumps(payload))
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGENERATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden fixture {path} is missing; run with GOLDEN_REGENERATE=1 to create it"
+    )
+    expected = json.loads(path.read_text())
+    _assert_matches(payload, expected)
+
+
+def _example1_db() -> BasketDatabase:
+    return BasketDatabase.from_baskets(
+        [["tea", "coffee"]] * 20 + [["coffee"]] * 70 + [["tea"]] * 5 + [[]] * 5
+    )
+
+
+def test_golden_example1_tea_coffee():
+    """§1.1's tea/coffee market: not correlated at 95%, correlated at 90%."""
+    db = _example1_db()
+    payload = {
+        "at_95": mining_result_to_dict(
+            mine_correlations(db, significance=0.95), db.vocabulary
+        ),
+        "at_90": mining_result_to_dict(
+            mine_correlations(db, significance=0.90), db.vocabulary
+        ),
+    }
+    _check_against_golden("example1_tea_coffee", payload)
+
+
+def test_golden_example4_military_age(census_db):
+    """§3's Example 4: service-in-military vs age on the full census."""
+    rule = correlation_rule(census_db, [2, 7], significance=0.95)
+    comparison = compare_frameworks(census_db, [2, 7])
+    accepted = comparison.accepted_association_rules(
+        min_support=0.01, min_confidence=0.5
+    )
+    payload = {
+        "rule": rule_to_dict(rule, census_db.vocabulary),
+        "accepted_association_rules": [
+            {
+                "antecedent": list(census_db.vocabulary.decode(r.antecedent)),
+                "consequent": list(census_db.vocabulary.decode(r.consequent)),
+                "support": r.support,
+                "confidence": r.confidence,
+            }
+            for r in accepted
+        ],
+    }
+    _check_against_golden("example4_military_age", payload)
+
+
+def test_golden_census_table2(census_db):
+    """Table 2: chi-squared and the 95% significance flag for all 45 pairs."""
+    pairs = {}
+    for a in range(10):
+        for b in range(a + 1, 10):
+            table = ContingencyTable.from_database(census_db, Itemset([a, b]))
+            value = chi_squared(table)
+            pairs[f"i{a} i{b}"] = {
+                "chi2": value,
+                "significant": bool(value >= CHI2_95_DF1),
+            }
+    payload = {"cutoff": CHI2_95_DF1, "pairs": pairs}
+    _check_against_golden("census_table2", payload)
+
+
+def test_golden_census_mine_borders(census_db):
+    """The census SIG border itself (level-capped): the miner's headline output."""
+    result = mine_correlations(
+        census_db, significance=0.95, support_count=100, support_fraction=0.26,
+        max_level=3, counting="parallel", workers=1,
+    )
+    payload = {
+        "significant_itemsets": [
+            list(census_db.vocabulary.decode(itemset)) for itemset in result.itemsets()
+        ],
+        "levels": [
+            {
+                "level": s.level,
+                "candidates": s.candidates,
+                "discarded": s.discarded,
+                "significant": s.significant,
+                "not_significant": s.not_significant,
+            }
+            for s in result.level_stats
+        ],
+    }
+    _check_against_golden("census_mine_borders", payload)
