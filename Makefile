@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all bench examples docs-check all
+.PHONY: install test test-fast test-all bench bench-counting examples docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,8 +20,13 @@ test-fast:
 test-all:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -q
 
-bench:
+bench: bench-counting
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Counting-backend shootout (single_pass vs bitmap vs vectorized) on the
+# census and Quest datasets; writes the machine-readable report.
+bench-counting:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_vectorized_counting.py --output BENCH_counting.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

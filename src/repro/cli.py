@@ -68,9 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--statistic", choices=["chi2", "g"], default="chi2")
     mine.add_argument(
         "--counting",
-        choices=["bitmap", "single_pass", "cube", "parallel"],
+        choices=["bitmap", "single_pass", "cube", "vectorized", "parallel"],
         default="bitmap",
-        help="contingency-table counting backend",
+        help="contingency-table counting backend (vectorized = NumPy batch sweeps)",
     )
     mine.add_argument(
         "--workers",

@@ -126,6 +126,49 @@ class ContingencyTable:
         return table
 
     @classmethod
+    def _from_parts(
+        cls,
+        itemset: Itemset,
+        occupied: dict[int, float],
+        marginals: tuple[float, ...],
+        n: float,
+    ) -> "ContingencyTable":
+        """Trusted assembly from precomputed parts — no validation, no copies.
+
+        The hot construction path shared by every counting kernel:
+        ``occupied`` must hold only non-zero cells and ``marginals`` must
+        equal the per-item occurrence counts.  Callers own both
+        invariants (they hold by construction for kernel output).
+        """
+        table = object.__new__(cls)
+        table._itemset = itemset
+        table._n = n
+        table._counts = occupied
+        table._marginals = marginals
+        return table
+
+    @classmethod
+    def from_cell_counts(
+        cls, itemset: Itemset, cells: Mapping[int, int], n: float
+    ) -> "ContingencyTable":
+        """Assemble a table from exact kernel counts over a whole database.
+
+        The shared fast construction path behind the vectorized kernels
+        and the parallel engine's shard merge: bypasses the validating
+        constructor (counts from the counting kernels are sound by
+        construction) and derives the marginals from the cells, so every
+        backend produces identical tables.
+        """
+        k = len(itemset)
+        occupied = {cell: count for cell, count in cells.items() if count}
+        marginals = [0.0] * k
+        for cell, count in occupied.items():
+            for j in range(k):
+                if (cell >> j) & 1:
+                    marginals[j] += count
+        return cls._from_parts(itemset, occupied, tuple(marginals), n)
+
+    @classmethod
     def from_percentages(
         cls,
         itemset: Itemset,
@@ -211,10 +254,15 @@ class ContingencyTable:
     # -- observed and expected -------------------------------------------------
 
     def observed(self, cell: int) -> float:
-        """O(r): the observed count of a cell."""
+        """O(r): the observed count of a cell, always ``float``-typed.
+
+        Empty cells return ``0.0`` (not the int ``0``) so callers of
+        ``from_percentages`` tables — whose occupied counts are floats —
+        see one consistent type across all cells.
+        """
         if not 0 <= cell < self.n_cells:
             raise ValueError(f"cell index {cell} out of range")
-        return self._counts.get(cell, 0)
+        return float(self._counts.get(cell, 0.0))
 
     def marginal(self, position: int) -> float:
         """O(i_j): occurrences of the ``position``-th item of the itemset."""
@@ -247,18 +295,39 @@ class ContingencyTable:
     # -- diagnostics -----------------------------------------------------------
 
     def validity(self) -> ExpectedValueValidity:
-        """Rule-of-thumb check for the chi-squared approximation (§3.3)."""
-        n_cells = self.n_cells
-        min_expected = float("inf")
-        above_five = 0
-        for cell in self.cells():
-            e = self.expected(cell)
-            min_expected = min(min_expected, e)
-            if e > 5.0:
-                above_five += 1
+        """Rule-of-thumb check for the chi-squared approximation (§3.3).
+
+        Every expectation is a product of the k marginal factors, so the
+        full ``2^k`` spectrum is built by doubling from the marginal
+        probabilities — ``O(2^k)`` multiplications total instead of
+        ``2^k`` Python :meth:`expected` calls of k multiplications each,
+        and vectorized once the table is wide enough to amortise NumPy
+        call overhead.  The factor order matches :meth:`expected`, so
+        results are bit-identical to the per-cell evaluation.
+        """
+        n = self._n
+        probabilities = self.marginal_probabilities()
+        if self.n_cells >= 512:
+            try:
+                import numpy as np
+            except ImportError:
+                np = None
+            if np is not None:
+                expected = np.array([n], dtype=float)
+                for p in probabilities:
+                    expected = np.concatenate([expected * (1.0 - p), expected * p])
+                return ExpectedValueValidity(
+                    min_expected=float(expected.min()),
+                    fraction_above_five=int((expected > 5.0).sum()) / self.n_cells,
+                )
+        expected_list = [float(n)]
+        for p in probabilities:
+            expected_list = [e * (1.0 - p) for e in expected_list] + [
+                e * p for e in expected_list
+            ]
         return ExpectedValueValidity(
-            min_expected=min_expected,
-            fraction_above_five=above_five / n_cells,
+            min_expected=min(expected_list),
+            fraction_above_five=sum(1 for e in expected_list if e > 5.0) / self.n_cells,
         )
 
     def to_dense(self):

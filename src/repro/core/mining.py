@@ -76,9 +76,11 @@ def mine_correlations(
     The main entry point; see :class:`ChiSquaredSupportMiner` for the
     advanced knobs reachable through ``kwargs``.  ``counting`` selects
     the table-counting backend (``"bitmap"``, ``"single_pass"``,
-    ``"cube"``, or the sharded multi-process ``"parallel"``); ``workers``
-    and ``cache_size`` configure the parallel engine and are ignored by
-    the serial backends.
+    ``"cube"``, the NumPy batch-sweep ``"vectorized"``, or the sharded
+    multi-process ``"parallel"``, whose shards themselves run the
+    vectorized kernels when NumPy is available); ``workers`` and
+    ``cache_size`` configure the parallel engine and are ignored by the
+    serial backends.
     """
     from repro.algorithms.chi2support import ChiSquaredSupportMiner
 

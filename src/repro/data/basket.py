@@ -28,7 +28,7 @@ class BasketDatabase:
     :meth:`from_id_baskets` (pre-encoded integer items).
     """
 
-    __slots__ = ("_baskets", "_vocabulary", "_bitmaps", "_item_counts")
+    __slots__ = ("_baskets", "_vocabulary", "_bitmaps", "_item_counts", "_packed")
 
     def __init__(
         self,
@@ -39,6 +39,7 @@ class BasketDatabase:
         self._vocabulary = vocabulary
         self._bitmaps: list[int] | None = None
         self._item_counts: list[int] | None = None
+        self._packed = None
 
     # -- construction -------------------------------------------------------
 
@@ -204,6 +205,20 @@ class BasketDatabase:
             self._build_bitmaps()
         assert self._item_counts is not None
         return tuple(self._item_counts)
+
+    def packed_index(self):
+        """The NumPy packed-bitmap index over this database (built once).
+
+        The vectorized counting kernels' view of the vertical database:
+        a ``(n_items, ceil(n/64))`` ``uint64`` matrix, cached here like
+        the big-int bitmaps so every kernel call over the same database
+        shares one packing pass.  Requires NumPy.
+        """
+        if self._packed is None:
+            from repro.kernels.packed import PackedBitmapIndex
+
+            self._packed = PackedBitmapIndex.from_database(self)
+        return self._packed
 
     # -- support ------------------------------------------------------------
 

@@ -38,7 +38,7 @@ class CountDatacube:
     >>> cube.count({0: True, 1: True})
     1
     >>> cube.table_for(Itemset([0])).observed(1)
-    2
+    2.0
     """
 
     __slots__ = ("_dimensions", "_position", "_counts", "_n")

@@ -1,0 +1,205 @@
+"""Vectorized counting kernels (`repro.kernels`).
+
+The NumPy-accelerated counting layer: a :class:`PackedBitmapIndex`
+stores the vertical database as a ``(n_items, ceil(n/64))`` ``uint64``
+matrix (built once per database, cached on it like the big-int
+bitmaps), and three kernels count contingency cells on it —
+
+* a **batched level-2 sweep** (`repro.kernels.sweep`) that counts all
+  candidate pairs of a level in one vectorized row-broadcast AND +
+  popcount pass (plus a level-3 twin),
+* a **vectorized Möbius kernel** (`repro.kernels.moebius`) that walks
+  the subset-support DFS with array intersections and inverts with
+  strided folds, and
+* a **basket-major scan** (`repro.kernels.scan`) that unpacks wide
+  itemsets' rows to ``uint8`` chunks and bins cell ids with
+  ``np.unique``.
+
+Every kernel computes exact integer counts, bit-identical to the
+pure-Python kernels in :mod:`repro.core.contingency` (the differential
+backend-equivalence suite enforces this).  The miner reaches this layer
+through ``counting="vectorized"``; the sharded parallel engine composes
+with it by running the same batch entry point per shard
+(``kernel="vectorized"``).
+
+When NumPy is missing, :func:`count_cells_batch` and
+:func:`count_tables_vectorized` silently fall back to the pure-Python
+kernels, so callers never need to gate on :data:`HAS_NUMPY` themselves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core import contingency as _contingency
+from repro.core.contingency import ContingencyTable, count_cells
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.kernels.packed import HAS_NUMPY, PackedBitmapIndex, popcount
+
+__all__ = [
+    "HAS_NUMPY",
+    "MOEBIUS_MAX_ITEMS",
+    "PackedBitmapIndex",
+    "count_cells_batch",
+    "count_cells_vectorized",
+    "count_tables_vectorized",
+    "popcount",
+]
+
+# Möbius-vs-scan cutoff, shared with the pure-Python dispatcher so both
+# paths switch kernels at the same width.
+MOEBIUS_MAX_ITEMS = _contingency._MAX_DENSE_ITEMS
+
+# Widest itemset whose cell ids fit the scan kernel's int64 arithmetic.
+_MAX_SCAN_ITEMS = 63
+
+
+def count_cells_batch(
+    db: BasketDatabase, itemsets: Sequence[Itemset]
+) -> list[dict[int, int]]:
+    """Exact sparse cell counts for a batch of itemsets, vectorized.
+
+    The batch entry point behind ``counting="vectorized"`` and the
+    parallel engine's vectorized shards: pairs and triples are grouped
+    and swept in closed form, mid-width itemsets go through the
+    vectorized Möbius kernel, wide ones through the basket-major scan.
+    Results align with the input order and are bit-identical to
+    :func:`repro.core.contingency.count_cells` per itemset.
+    """
+    itemsets = list(itemsets)
+    if not HAS_NUMPY:
+        return [count_cells(db, itemset) for itemset in itemsets]
+    from repro.kernels.moebius import count_cells_moebius
+    from repro.kernels.scan import count_cells_scan
+    from repro.kernels.sweep import count_pairs_batch, count_triples_batch
+
+    index = db.packed_index()
+    results: list[dict[int, int] | None] = [None] * len(itemsets)
+    pair_slots: list[int] = []
+    triple_slots: list[int] = []
+    for slot, itemset in enumerate(itemsets):
+        items = itemset.items
+        k = len(items)
+        if k == 0:
+            raise ValueError("a contingency table needs at least one item")
+        if k == 2:
+            pair_slots.append(slot)
+        elif k == 3:
+            triple_slots.append(slot)
+        elif k == 1:
+            count = int(index.counts[items[0]])
+            cells = {0b1: count, 0b0: index.n_baskets - count}
+            results[slot] = {cell: c for cell, c in cells.items() if c}
+        elif k <= MOEBIUS_MAX_ITEMS:
+            results[slot] = count_cells_moebius(index, items)
+        elif k <= _MAX_SCAN_ITEMS:
+            results[slot] = count_cells_scan(index, items)
+        else:
+            # Cell ids overflow int64 past 63 items; the sparse Python
+            # scan handles arbitrary widths with big-int cells.
+            results[slot] = _contingency._cells_by_scan(db, itemsets[slot])
+
+    if pair_slots:
+        pairs = [itemsets[slot].items for slot in pair_slots]
+        for slot, cells in zip(pair_slots, count_pairs_batch(index, pairs)):
+            results[slot] = cells
+    if triple_slots:
+        triples = [itemsets[slot].items for slot in triple_slots]
+        for slot, cells in zip(triple_slots, count_triples_batch(index, triples)):
+            results[slot] = cells
+    return results  # type: ignore[return-value]
+
+
+def count_cells_vectorized(db: BasketDatabase, itemset: Itemset) -> dict[int, int]:
+    """Exact sparse cell counts for one itemset via the vectorized kernels."""
+    return count_cells_batch(db, [itemset])[0]
+
+
+def count_tables_vectorized(
+    db: BasketDatabase, itemsets: Iterable[Itemset]
+) -> dict[Itemset, ContingencyTable]:
+    """Contingency tables for a batch of itemsets via the vectorized kernels.
+
+    The per-level call the miner's ``counting="vectorized"`` backend
+    makes — the vectorized analogue of
+    :func:`repro.core.contingency.count_tables_single_pass`.  Tables are
+    assembled straight from the sweep's cell columns (marginals come
+    from the index's item counts), skipping the intermediate dict pass
+    the shard wire format needs.
+    """
+    itemsets = list(itemsets)
+    n = db.n_baskets
+    if not HAS_NUMPY:
+        return {
+            itemset: ContingencyTable.from_database(db, itemset)
+            for itemset in itemsets
+        }
+    from repro.kernels.sweep import pair_cell_columns, triple_cell_columns
+
+    index = db.packed_index()
+    tables: dict[Itemset, ContingencyTable] = {}
+    pair_group: list[Itemset] = []
+    triple_group: list[Itemset] = []
+    other_group: list[Itemset] = []
+    for itemset in itemsets:
+        k = len(itemset)
+        if k == 2:
+            pair_group.append(itemset)
+        elif k == 3:
+            triple_group.append(itemset)
+        else:
+            other_group.append(itemset)
+
+    if pair_group:
+        both, only_a, only_b, neither, count_a, count_b = pair_cell_columns(
+            index, [itemset.items for itemset in pair_group]
+        )
+        columns = zip(
+            pair_group,
+            both.tolist(),
+            only_a.tolist(),
+            only_b.tolist(),
+            neither.tolist(),
+            count_a.tolist(),
+            count_b.tolist(),
+        )
+        for itemset, c11, c01, c10, c00, ca, cb in columns:
+            cells: dict[int, float] = {}
+            if c11:
+                cells[0b11] = c11
+            if c01:
+                cells[0b01] = c01
+            if c10:
+                cells[0b10] = c10
+            if c00:
+                cells[0b00] = c00
+            tables[itemset] = ContingencyTable._from_parts(
+                itemset, cells, (float(ca), float(cb)), n
+            )
+    if triple_group:
+        cell_columns, (n_a, n_b, n_c) = triple_cell_columns(
+            index, [itemset.items for itemset in triple_group]
+        )
+        listed = [(cell, column.tolist()) for cell, column in cell_columns.items()]
+        marginal_rows = zip(n_a.tolist(), n_b.tolist(), n_c.tolist())
+        for i, (itemset, marginals) in enumerate(zip(triple_group, marginal_rows)):
+            cells = {}
+            for cell, column in listed:
+                count = column[i]
+                if count:
+                    cells[cell] = count
+            tables[itemset] = ContingencyTable._from_parts(
+                itemset, cells, tuple(map(float, marginals)), n
+            )
+    if other_group:
+        for itemset, cells in zip(other_group, count_cells_batch(db, other_group)):
+            marginals = tuple(
+                float(index.counts[item]) for item in itemset.items
+            )
+            tables[itemset] = ContingencyTable._from_parts(
+                itemset, cells, marginals, n
+            )
+    if len(tables) != len(itemsets):  # preserve input order on mixed batches
+        return {itemset: tables[itemset] for itemset in itemsets}
+    return tables

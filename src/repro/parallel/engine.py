@@ -8,7 +8,11 @@ has three moving parts:
 
 1. **Sharding** — the database is partitioned once into contiguous row
    shards (`repro.parallel.sharding`), each able to count cells for a
-   batch of itemsets on its own vertical bitmaps.
+   batch of itemsets on its own vertical bitmaps — with either the
+   pure-Python big-int kernels or the NumPy packed-bitmap kernels of
+   :mod:`repro.kernels` (the ``kernel`` knob; ``"auto"`` picks
+   vectorized whenever NumPy imports), so the parallel and vectorized
+   backends compose.
 2. **A worker pool** — shards are shipped to ``multiprocessing`` workers
    once (pool initializer) and afterwards addressed by index; a counting
    batch fans one task per shard out and merges the returned sparse
@@ -37,7 +41,12 @@ from repro.core.contingency import ContingencyTable, count_cells
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
 from repro.parallel.cache import TableCache
-from repro.parallel.sharding import Shard, merge_shard_counts, shard_database
+from repro.parallel.sharding import (
+    Shard,
+    merge_shard_counts,
+    resolve_kernel,
+    shard_database,
+)
 
 __all__ = ["CountingError", "ParallelCountingEngine"]
 
@@ -79,6 +88,13 @@ class ParallelCountingEngine:
             instead of raising :class:`CountingError`.
         mp_context: a ``multiprocessing`` context (or start-method name)
             to use instead of the default (``fork`` where available).
+        kernel: the counting kernel each shard (and the serial path)
+            runs — ``"bitmap"`` for the pure-Python big-int kernels,
+            ``"vectorized"`` for the NumPy packed-bitmap kernels of
+            :mod:`repro.kernels`, or ``"auto"`` (default) for
+            vectorized-when-NumPy-imports.  This is how the parallel
+            and vectorized backends compose; every kernel produces
+            bit-identical tables.
 
     >>> db = BasketDatabase.from_baskets([["a", "b"]] * 3 + [["a"]] * 2 + [[]] * 5)
     >>> with ParallelCountingEngine(db, workers=1) as engine:
@@ -96,6 +112,7 @@ class ParallelCountingEngine:
         task_timeout: float | None = 120.0,
         fallback_serial: bool = True,
         mp_context=None,
+        kernel: str = "auto",
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -105,8 +122,11 @@ class ParallelCountingEngine:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError(f"task_timeout must be positive, got {task_timeout}")
+        if kernel not in ("auto", "bitmap", "vectorized"):
+            raise ValueError(f"unknown counting kernel {kernel!r}")
         self.db = db
         self.workers = workers
+        self.kernel = kernel
         self.task_timeout = task_timeout
         self.fallback_serial = fallback_serial
         self.cache = TableCache(cache_size)
@@ -128,7 +148,7 @@ class ParallelCountingEngine:
     def shards(self) -> list[Shard]:
         """The row shards (built lazily, before any pool exists)."""
         if self._shards is None:
-            self._shards = shard_database(self.db, self._n_shards)
+            self._shards = shard_database(self.db, self._n_shards, kernel=self.kernel)
         return self._shards
 
     def _context(self):
@@ -238,8 +258,15 @@ class ParallelCountingEngine:
         """In-process counting over the full database (the reference path)."""
         self.serial_batches += 1
         n = self.db.n_baskets
+        if resolve_kernel(self.kernel) == "vectorized":
+            from repro.kernels import count_cells_batch
+
+            return [
+                ContingencyTable.from_cell_counts(itemset, cells, n)
+                for itemset, cells in zip(itemsets, count_cells_batch(self.db, itemsets))
+            ]
         return [
-            self._build_table(itemset, count_cells(self.db, itemset), n)
+            ContingencyTable.from_cell_counts(itemset, count_cells(self.db, itemset), n)
             for itemset in itemsets
         ]
 
@@ -282,28 +309,6 @@ class ParallelCountingEngine:
         merged = merge_shard_counts(per_shard)
         n = self.db.n_baskets
         return [
-            self._build_table(itemset, cells, n)
+            ContingencyTable.from_cell_counts(itemset, cells, n)
             for itemset, cells in zip(itemsets, merged)
         ]
-
-    @staticmethod
-    def _build_table(itemset: Itemset, cells: dict[int, int], n: int) -> ContingencyTable:
-        """Assemble a table from exact kernel counts, like ``from_database``.
-
-        Bypasses the validating constructor (counts are sound by
-        construction) and derives marginals from the cells, so serial and
-        merged paths produce identical tables.
-        """
-        k = len(itemset)
-        occupied = {cell: count for cell, count in cells.items() if count}
-        marginals = [0.0] * k
-        for cell, count in occupied.items():
-            for j in range(k):
-                if (cell >> j) & 1:
-                    marginals[j] += count
-        table = object.__new__(ContingencyTable)
-        table._itemset = itemset
-        table._n = n
-        table._counts = occupied
-        table._marginals = tuple(marginals)
-        return table

@@ -24,7 +24,21 @@ from repro.core.contingency import count_cells
 from repro.core.itemsets import Itemset, ItemVocabulary
 from repro.data.basket import BasketDatabase
 
-__all__ = ["Shard", "shard_database", "merge_shard_counts"]
+__all__ = ["Shard", "resolve_kernel", "shard_database", "merge_shard_counts"]
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Resolve a counting-kernel name, mapping ``"auto"`` to the fastest.
+
+    ``"auto"`` means the NumPy packed-bitmap kernels when NumPy is
+    importable and the pure-Python big-int path otherwise — resolved at
+    call time, so a worker process decides on *its* environment.
+    """
+    if kernel == "auto":
+        from repro.kernels import HAS_NUMPY
+
+        return "vectorized" if HAS_NUMPY else "bitmap"
+    return kernel
 
 
 class Shard:
@@ -35,13 +49,22 @@ class Shard:
     database is dropped from the pickled state so only the raw basket
     tuples travel to worker processes.
 
+    ``kernel`` selects the counting implementation the shard runs over
+    its rows: ``"bitmap"`` is the pure-Python big-int path, and
+    ``"vectorized"`` the NumPy packed-bitmap kernels of
+    :mod:`repro.kernels` — this is how the parallel and vectorized
+    backends compose, each worker sweeping its own shard in array form.
+    ``"auto"`` (the default) resolves to vectorized when NumPy imports
+    on the worker and bitmap otherwise; all three produce bit-identical
+    counts.
+
     ``fault`` is a failure-injection hook used by the resilience tests:
     ``"crash"`` makes :meth:`count_cells` raise, ``"hang"`` makes it
     sleep far past any reasonable task timeout.  Production code never
     sets it.
     """
 
-    __slots__ = ("index", "start", "baskets", "n_items", "fault", "_db")
+    __slots__ = ("index", "start", "baskets", "n_items", "kernel", "fault", "_db")
 
     def __init__(
         self,
@@ -49,22 +72,33 @@ class Shard:
         start: int,
         baskets: Sequence[tuple[int, ...]],
         n_items: int,
+        kernel: str = "auto",
         fault: str | None = None,
     ) -> None:
+        if kernel not in ("auto", "bitmap", "vectorized"):
+            raise ValueError(f"unknown counting kernel {kernel!r}")
         self.index = index
         self.start = start
         self.baskets = tuple(baskets)
         self.n_items = n_items
+        self.kernel = kernel
         self.fault = fault
         self._db: BasketDatabase | None = None
 
     # -- pickling (exclude the lazily built database) -------------------------
 
     def __getstate__(self) -> tuple:
-        return (self.index, self.start, self.baskets, self.n_items, self.fault)
+        return (self.index, self.start, self.baskets, self.n_items, self.kernel, self.fault)
 
     def __setstate__(self, state: tuple) -> None:
-        self.index, self.start, self.baskets, self.n_items, self.fault = state
+        (
+            self.index,
+            self.start,
+            self.baskets,
+            self.n_items,
+            self.kernel,
+            self.fault,
+        ) = state
         self._db = None
 
     # -- counting -------------------------------------------------------------
@@ -93,7 +127,12 @@ class Shard:
         if self.fault == "hang":  # pragma: no cover - timing-dependent
             time.sleep(30.0)
         db = self.database()
-        return [count_cells(db, Itemset._from_sorted(items)) for items in candidates]
+        itemsets = [Itemset._from_sorted(items) for items in candidates]
+        if resolve_kernel(self.kernel) == "vectorized":
+            from repro.kernels import count_cells_batch
+
+            return count_cells_batch(db, itemsets)
+        return [count_cells(db, itemset) for itemset in itemsets]
 
     def __repr__(self) -> str:
         return (
@@ -102,14 +141,17 @@ class Shard:
         )
 
 
-def shard_database(db: BasketDatabase, n_shards: int) -> list[Shard]:
+def shard_database(
+    db: BasketDatabase, n_shards: int, kernel: str = "auto"
+) -> list[Shard]:
     """Partition ``db`` into at most ``n_shards`` contiguous row shards.
 
     Shard sizes differ by at most one basket, shards never overlap, and
     concatenating them in index order recovers the database's row order
     exactly — the layout is a pure function of ``(n_baskets, n_shards)``
     so repeated runs shard identically.  Databases smaller than
-    ``n_shards`` get one shard per basket.
+    ``n_shards`` get one shard per basket.  ``kernel`` is stamped on
+    every shard (see :class:`Shard`).
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1, got {n_shards}")
@@ -121,7 +163,9 @@ def shard_database(db: BasketDatabase, n_shards: int) -> list[Shard]:
     start = 0
     for index in range(n_shards):
         size = base + (1 if index < extra else 0)
-        shards.append(Shard(index, start, baskets[start : start + size], db.n_items))
+        shards.append(
+            Shard(index, start, baskets[start : start + size], db.n_items, kernel=kernel)
+        )
         start += size
     return shards
 

@@ -214,6 +214,87 @@ class TestValidity:
         # p(a) = p(b) = 0.1 -> E[ab] = 0.1 < 1: invalid.
         assert not table.validity().is_valid
 
+    @staticmethod
+    def _naive_validity(table):
+        """The original implementation: one expected() call per cell."""
+        expectations = [table.expected(cell) for cell in table.cells()]
+        return (
+            min(expectations),
+            sum(1 for e in expectations if e > 5.0) / table.n_cells,
+        )
+
+    def _assert_validity_unchanged(self, table):
+        min_expected, fraction = self._naive_validity(table)
+        validity = table.validity()
+        # Bit-identical, not approximately equal: the doubled product
+        # applies the marginal factors in the same IEEE order expected()
+        # does.
+        assert validity.min_expected == min_expected
+        assert validity.fraction_above_five == fraction
+
+    def test_validity_matches_per_cell_expected(self, small_db):
+        for items in ([0], [0, 1], [1, 2], [0, 1, 2]):
+            self._assert_validity_unchanged(
+                ContingencyTable.from_database(small_db, Itemset(items))
+            )
+
+    def test_validity_matches_on_percentage_tables(self):
+        self._assert_validity_unchanged(
+            ContingencyTable.from_percentages(
+                Itemset([0, 1]), {0b11: 20, 0b01: 5, 0b10: 70, 0b00: 5}, n=200
+            )
+        )
+        self._assert_validity_unchanged(
+            ContingencyTable.from_percentages(
+                Itemset([0, 1, 2]),
+                {0b111: 1, 0b010: 33, 0b100: 33, 0b001: 33},
+            )
+        )
+
+    def test_validity_matches_on_wide_table(self):
+        """2^10 cells crosses the NumPy-path cutoff; still bit-identical."""
+        import random
+
+        rng = random.Random(1997)
+        baskets = [
+            [item for item in range(10) if rng.random() < 0.4]
+            for _ in range(500)
+        ]
+        db = BasketDatabase.from_id_baskets(baskets, n_items=10)
+        table = ContingencyTable.from_database(db, Itemset(range(10)))
+        assert table.n_cells == 1024
+        self._assert_validity_unchanged(table)
+
+    def test_validity_on_degenerate_marginals(self):
+        # An always-present item: expectations with its absent factor
+        # collapse to exactly 0.0 on both paths.
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 6, 0b01: 4}, n=10)
+        self._assert_validity_unchanged(table)
+        assert table.validity().min_expected == 0.0
+
+
+class TestObservedType:
+    def test_observed_always_float(self, small_db):
+        """observed() returns float for occupied AND empty cells alike."""
+        for items in ([0], [0, 1], [0, 1, 2]):
+            table = ContingencyTable.from_database(small_db, Itemset(items))
+            for cell in table.cells():
+                assert type(table.observed(cell)) is float, (items, cell)
+
+    def test_observed_empty_cell_is_float_zero(self, small_db):
+        # a&c appears without b nowhere... pick a genuinely empty cell.
+        table = ContingencyTable(Itemset([0, 1]), {0b11: 4, 0b00: 6}, n=10)
+        value = table.observed(0b01)
+        assert value == 0.0
+        assert type(value) is float
+
+    def test_observed_float_on_percentage_tables(self):
+        table = ContingencyTable.from_percentages(
+            Itemset([0, 1]), {0b11: 25, 0b00: 75}, n=40
+        )
+        for cell in table.cells():
+            assert type(table.observed(cell)) is float, cell
+
 
 class TestSinglePassCounting:
     def test_matches_per_itemset_construction(self, small_db):

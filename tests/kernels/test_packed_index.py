@@ -1,0 +1,115 @@
+"""Unit tests for the packed-bitmap vertical index and popcount."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.basket import BasketDatabase
+
+np = pytest.importorskip("numpy")
+
+from repro.kernels import HAS_NUMPY, PackedBitmapIndex, popcount  # noqa: E402
+
+
+def random_db(seed: int, n_items: int, n_baskets: int) -> BasketDatabase:
+    rng = random.Random(seed)
+    density = rng.uniform(0.1, 0.7)
+    baskets = [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(n_baskets)
+    ]
+    return BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+
+
+def test_has_numpy_flag_is_true_here():
+    assert HAS_NUMPY is True
+
+
+class TestPopcount:
+    def test_matches_int_bit_count(self):
+        rng = random.Random(0xC0DE)
+        words = [rng.getrandbits(64) for _ in range(512)]
+        array = np.array(words, dtype=np.uint64)
+        expected = [word.bit_count() for word in words]
+        assert popcount(array).astype(np.int64).tolist() == expected
+
+    def test_edge_words(self):
+        array = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert popcount(array).astype(np.int64).tolist() == [0, 1, 1, 64]
+
+    def test_preserves_shape(self):
+        array = np.arange(24, dtype=np.uint64).reshape(4, 6)
+        assert popcount(array).shape == (4, 6)
+
+
+class TestPackedBitmapIndex:
+    @pytest.mark.parametrize("n_baskets", [0, 1, 63, 64, 65, 127, 128, 200])
+    def test_shape(self, n_baskets):
+        db = random_db(n_baskets + 7, 5, n_baskets)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.packed.shape == (5, max(1, (n_baskets + 63) // 64))
+        assert index.packed.dtype == np.uint64
+        assert index.n_baskets == n_baskets
+        assert index.n_words == index.packed.shape[1]
+
+    @pytest.mark.parametrize("n_baskets", [1, 65, 200])
+    def test_rows_roundtrip_to_bigint_bitmaps(self, n_baskets):
+        """Each packed row equals the database's big-int bitmap bit for bit."""
+        db = random_db(n_baskets, 7, n_baskets)
+        index = PackedBitmapIndex.from_database(db)
+        for item in range(db.n_items):
+            row_int = int.from_bytes(
+                index.packed[item].astype("<u8").tobytes(), "little"
+            )
+            assert row_int == db.item_bitmap(item), item
+
+    def test_counts_match_item_counts(self):
+        db = random_db(42, 9, 150)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.counts.tolist() == list(db.item_counts())
+        assert index.counts.dtype == np.int64
+
+    def test_row_popcounts_match_counts(self):
+        """Padding bits in the last word must be zero."""
+        db = random_db(7, 6, 97)  # 97 baskets: 31 padding bits
+        index = PackedBitmapIndex.from_database(db)
+        per_row = popcount(index.packed).sum(axis=1, dtype=np.int64)
+        assert per_row.tolist() == index.counts.tolist()
+
+    def test_cached_on_database(self):
+        db = random_db(3, 4, 50)
+        first = db.packed_index()
+        assert db.packed_index() is first
+        assert isinstance(first, PackedBitmapIndex)
+
+    def test_rows_gathers_requested_items(self):
+        db = random_db(11, 8, 80)
+        index = PackedBitmapIndex.from_database(db)
+        gathered = index.rows([5, 1])
+        assert np.array_equal(gathered[0], index.packed[5])
+        assert np.array_equal(gathered[1], index.packed[1])
+
+    def test_row_bits_unpacks_and_trims_padding(self):
+        db = random_db(13, 3, 70)  # 70 baskets -> 2 words, 58 padding bits
+        index = PackedBitmapIndex.from_database(db)
+        bits = index.row_bits(index.packed)
+        assert bits.shape == (3, 70)
+        for item in range(3):
+            bitmap = db.item_bitmap(item)
+            expected = [(bitmap >> i) & 1 for i in range(70)]
+            assert bits[item].tolist() == expected
+
+    def test_empty_database_keeps_valid_shapes(self):
+        db = BasketDatabase.from_id_baskets([], n_items=3)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.packed.shape == (3, 1)
+        assert index.n_baskets == 0
+        assert index.counts.tolist() == [0, 0, 0]
+
+    def test_repr_mentions_dimensions(self):
+        db = random_db(1, 4, 10)
+        index = PackedBitmapIndex.from_database(db)
+        assert "items=4" in repr(index)
+        assert "baskets=10" in repr(index)

@@ -1,16 +1,21 @@
 """Differential backend-equivalence harness.
 
-The miner exposes two hash-table backends (``dict``, ``fks``) and four
-counting backends (``bitmap``, ``single_pass``, ``cube``, ``parallel``).
-All eight combinations implement the *same* Figure 1 algorithm, so on
-any database they must produce identical ``SIG`` borders, level stats,
-and supported-uncorrelated sets — and every contingency table any of
-them builds must match a brute-force ``2^m``-cell enumerator that
-classifies each basket into its presence/absence cell by definition.
+The miner exposes two hash-table backends (``dict``, ``fks``) and five
+counting backends (``bitmap``, ``single_pass``, ``cube``,
+``vectorized``, ``parallel``).  All ten combinations implement the
+*same* Figure 1 algorithm, so on any database they must produce
+identical ``SIG`` borders, level stats, and supported-uncorrelated sets
+— and every contingency table any of them builds must match a
+brute-force ``2^m``-cell enumerator that classifies each basket into
+its presence/absence cell by definition.  The parallel engine is
+additionally probed with each of its per-shard kernels (``bitmap`` and
+NumPy ``vectorized``), pinning down the parallel x vectorized
+composition.
 
 Randomised databases come from Hypothesis when it is installed and from
 a seeded pure-``random`` generator otherwise, so the harness runs in
-minimal environments too.
+minimal environments too; without NumPy the vectorized paths fall back
+to the pure-Python kernels and the assertions still hold.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.core.correlation import CorrelationTest
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
 from repro.data.datacube import CountDatacube
+from repro.kernels import count_tables_vectorized
 from repro.measures.cellsupport import CellSupport, level1_pair_may_have_support
 from repro.parallel import ParallelCountingEngine
 
@@ -38,7 +44,7 @@ except ImportError:  # pragma: no cover - exercised in minimal installs
     HAS_HYPOTHESIS = False
 
 TABLE_BACKENDS = ("dict", "fks")
-COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "parallel")
+COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel")
 
 SIGNIFICANCE = 0.95
 SUPPORT = CellSupport(count=2, fraction=0.3)
@@ -187,15 +193,23 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
         return
     cube = CountDatacube(db, db.vocabulary.ids())
     single = count_tables_single_pass(db, probes)
-    with ParallelCountingEngine(db, workers=1, n_shards=3) as engine:
+    vectorized = count_tables_vectorized(db, probes)
+    with ParallelCountingEngine(db, workers=1, n_shards=3, kernel="bitmap") as engine:
         parallel_tables = engine.count_tables(probes)
+    # The parallel x vectorized composition: every shard runs the NumPy
+    # packed-bitmap kernels over its own rows, merged by the shard-sum
+    # identity.
+    with ParallelCountingEngine(db, workers=1, n_shards=3, kernel="vectorized") as engine:
+        composed_tables = engine.count_tables(probes)
     for probe in probes:
         expected = brute_force_cells(db, probe)
         for label, table in (
             ("bitmap", ContingencyTable.from_database(db, probe)),
             ("single_pass", single[probe]),
             ("cube", cube.table_for(probe)),
+            ("vectorized", vectorized[probe]),
             ("parallel", parallel_tables[probe]),
+            ("parallel x vectorized", composed_tables[probe]),
         ):
             assert dict(table.nonzero_counts()) == expected, (label, probe)
             assert table.n == db.n_baskets, (label, probe)
@@ -251,14 +265,23 @@ def test_backends_agree_on_adversarial_shapes():
 
 @pytest.mark.slow
 def test_backends_agree_with_real_worker_pool():
-    """The multi-process path (workers=4) agrees with every serial backend."""
+    """The multi-process path (workers=4) agrees with every serial backend.
+
+    ``counting="parallel"`` defaults to ``kernel="auto"``, so with NumPy
+    installed this also exercises the parallel x vectorized composition
+    across real worker processes.
+    """
     rng = random.Random(1997)
     baskets = random_baskets(rng, 8, 400)
     db = BasketDatabase.from_id_baskets(baskets, n_items=8)
     serial = ChiSquaredSupportMiner(
         significance=SIGNIFICANCE, support=SUPPORT, counting="bitmap"
     ).mine(db)
+    vectorized = ChiSquaredSupportMiner(
+        significance=SIGNIFICANCE, support=SUPPORT, counting="vectorized"
+    ).mine(db)
     parallel = ChiSquaredSupportMiner(
         significance=SIGNIFICANCE, support=SUPPORT, counting="parallel", workers=4
     ).mine(db)
+    assert _signature(vectorized) == _signature(serial)
     assert _signature(parallel) == _signature(serial)
