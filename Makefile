@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all bench bench-counting examples docs-check all
+.PHONY: install test test-fast test-all lint lint-json bench bench-counting examples docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -19,6 +19,15 @@ test-fast:
 # The full suite, slow markers included.
 test-all:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -q
+
+# replint: the project's AST-based invariant checker (see
+# docs/static_analysis.md).  Exits non-zero on any violation or on an
+# undocumented/stale suppression; stdlib-only, so it runs everywhere.
+lint:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis
+
+lint-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis --format json
 
 bench: bench-counting
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

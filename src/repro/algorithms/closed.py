@@ -40,7 +40,7 @@ def maximal_frequent(result: AprioriResult) -> list[Itemset]:
         by_size.setdefault(len(itemset), set()).add(itemset)
     maximal: list[Itemset] = []
     all_items = {item for itemset in frequent for item in itemset}
-    for itemset in frequent:
+    for itemset in sorted(frequent):
         has_frequent_superset = any(
             itemset.add(item) in by_size.get(len(itemset) + 1, ())
             for item in all_items

@@ -46,7 +46,7 @@ def negative_border(
             border.add(singleton)
 
     by_size: dict[int, list[Itemset]] = {}
-    for itemset in frequent:
+    for itemset in sorted(frequent):
         by_size.setdefault(len(itemset), []).append(itemset)
 
     top = max(by_size) if by_size else 0

@@ -1,0 +1,72 @@
+"""``python -m repro.analysis`` — lint the tree, exit non-zero on findings."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.framework import lint
+from repro.analysis.reporters import render_json, render_rule_list, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description="AST-based invariant checker for the correlation-mining repo",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the project root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root that relative paths and rule scopes resolve against",
+    )
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--select", default=None, help="comma-separated rule ids to run (default: all)"
+    )
+    parser.add_argument(
+        "--ignore", default=None, help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def _split(ids: str | None) -> list[str] | None:
+    if ids is None:
+        return None
+    return [part.strip() for part in ids.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(render_rule_list())
+        return 0
+    try:
+        report = lint(
+            paths=options.paths or None,
+            root=Path(options.root),
+            select=_split(options.select),
+            ignore=_split(options.ignore),
+        )
+    except ValueError as error:
+        print(f"replint: error: {error}", file=sys.stderr)
+        return 2
+    rendered = render_json(report) if options.format == "json" else render_text(report)
+    print(rendered)
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Small AST helpers shared by the replint rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "call_name",
+    "constant_strings",
+    "function_scopes",
+    "unwrap_transparent",
+]
+
+
+def call_name(node: ast.expr) -> str | None:
+    """Dotted name of a callable expression (``Name`` / ``Attribute``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = call_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else node.attr
+    return None
+
+
+def constant_strings(node: ast.expr) -> list[str] | None:
+    """The string elements of a tuple/list literal, or None if not one."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: list[str] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        values.append(element.value)
+    return values
+
+
+def function_scopes(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def unwrap_transparent(node: ast.expr) -> ast.expr:
+    """Strip wrappers that preserve iteration order (list/tuple/enumerate/reversed).
+
+    ``list(s)`` over a set is exactly as unordered as ``s`` itself, so
+    rules about unordered iteration must see through such calls.
+    ``sorted()`` is *not* transparent — it establishes an order.
+    """
+    while (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "tuple", "iter", "enumerate", "reversed")
+        and node.args
+    ):
+        node = node.args[0]
+    return node

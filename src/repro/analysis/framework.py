@@ -1,0 +1,356 @@
+"""replint — the project's AST-based invariant checker.
+
+The miner's guarantees rest on invariants the type system cannot see:
+bit-identical contingency tables across all counting backends, canonical
+float summation order, and a pure-Python core that degrades gracefully
+when NumPy is absent.  ``replint`` encodes those invariants as lint
+rules over the syntax tree, so a regression is caught at review time
+instead of deep inside a differential test failure.
+
+Architecture:
+
+* :class:`Rule` — one invariant check.  Module-scope rules see one
+  parsed file (:class:`LintModule`); project-scope rules see every file
+  at once (for cross-file drift checks).  Rules self-register into
+  :data:`REGISTRY` via the :func:`register` decorator.
+* :func:`lint` — walks a file tree, parses each module once, runs every
+  applicable rule, applies suppressions, and returns a
+  :class:`LintReport`.
+
+Suppressions are per line::
+
+    risky_line()  # replint: disable=RPR001 -- why this site is safe
+
+The ``-- justification`` clause is mandatory: a suppression without one
+(or one that no longer matches any violation) is itself reported under
+the reserved id ``RPR000``, so the tree can never silently accumulate
+undocumented or stale escapes.  The comment may also sit alone on the
+line directly above the flagged statement.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "META_RULE_ID",
+    "LintModule",
+    "LintReport",
+    "Rule",
+    "REGISTRY",
+    "Suppression",
+    "Violation",
+    "register",
+    "lint",
+]
+
+# Reserved id for problems with replint directives themselves
+# (undocumented or stale suppressions, unparseable files).
+META_RULE_ID = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"replint:\s*disable=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s+--\s*(?P<why>\S.*?))?\s*$"
+)
+
+# Directories never walked into, by name.
+_SKIP_DIR_NAMES = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    "build",
+    "dist",
+    ".eggs",
+}
+
+# Tree-relative prefixes excluded from directory walks (fixture files
+# violate rules on purpose; explicit file arguments still lint them).
+_SKIP_REL_PREFIXES = ("tests/analysis/fixtures",)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A ``# replint: disable=...`` directive found in one file."""
+
+    line: int
+    rules: frozenset[str]
+    justification: str
+    used: bool = False
+
+
+class LintModule:
+    """One parsed source file plus its replint directives."""
+
+    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=rel_path)
+        self.suppressions = _collect_suppressions(source)
+
+    def suppression_for(self, line: int, rule: str) -> Suppression | None:
+        """The directive covering ``rule`` on ``line``, if any.
+
+        A directive applies to its own line or to the line directly
+        below it (the standalone-comment-above form).
+        """
+        for at in (line, line - 1):
+            directive = self.suppressions.get(at)
+            if directive is not None and rule in directive.rules:
+                return directive
+        return None
+
+
+def _collect_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> directive, read from the comment tokens.
+
+    Tokenizing (rather than regex-scanning raw lines) means directives
+    inside string literals are never mistaken for real ones.
+    """
+    directives: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group("rules").split(",") if part.strip()
+            )
+            directives[token.start[0]] = Suppression(
+                line=token.start[0],
+                rules=rules,
+                justification=(match.group("why") or "").strip(),
+            )
+    except tokenize.TokenError:
+        # Truncated/odd sources: keep the directives seen so far — the
+        # AST parse will report anything genuinely broken.
+        return directives
+    return directives
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``id``/``name``/``rationale`` and implement
+    :meth:`check_module` (scope ``"module"``) or :meth:`check_project`
+    (scope ``"project"``, for cross-file consistency).  ``dir_scope``
+    restricts a rule to tree-relative path prefixes; files passed to the
+    linter explicitly (not discovered by a directory walk) bypass the
+    restriction so fixtures and one-off files can exercise every rule.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    scope: str = "module"
+    dir_scope: tuple[str, ...] | None = None
+    dir_exempt: tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str, explicit: bool = False) -> bool:
+        normalized = rel_path.replace("\\", "/")
+        if any(normalized.startswith(prefix) for prefix in self.dir_exempt):
+            return False
+        if explicit or self.dir_scope is None:
+            return True
+        return any(normalized.startswith(prefix) for prefix in self.dir_scope)
+
+    def check_module(self, module: LintModule) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterable[Violation]:
+        return ()
+
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    REGISTRY[cls.id] = cls()
+    return cls
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        """Violations per rule id, sorted by id."""
+        tally: dict[str, int] = {}
+        for violation in self.violations:
+            tally[violation.rule] = tally.get(violation.rule, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+
+def _iter_files(paths: Sequence[Path], root: Path) -> Iterator[tuple[Path, bool]]:
+    """Yield ``(file, explicit)`` pairs; explicit files bypass excludes."""
+    for path in paths:
+        if path.is_file():
+            yield path, True
+            continue
+        # A directory named on the command line that itself lives inside
+        # an excluded subtree (e.g. a fixture directory) was targeted on
+        # purpose: walk it anyway and treat its files as explicit, so it
+        # cannot silently report clean.
+        inside_excluded = any(
+            _rel_path(path, root).startswith(prefix)
+            for prefix in _SKIP_REL_PREFIXES
+        )
+        for file in sorted(path.rglob("*.py")):
+            if any(
+                part in _SKIP_DIR_NAMES or part.startswith(".")
+                for part in file.relative_to(path).parts[:-1]
+            ):
+                continue
+            if not inside_excluded and any(
+                _rel_path(file, root).startswith(prefix)
+                for prefix in _SKIP_REL_PREFIXES
+            ):
+                continue
+            yield file, inside_excluded
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _resolve_rules(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> list[Rule]:
+    chosen = set(select) if select is not None else set(REGISTRY)
+    chosen -= set(ignore or ())
+    unknown = chosen - set(REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+    return [REGISTRY[rule_id] for rule_id in sorted(chosen)]
+
+
+def lint(
+    paths: Sequence[Path | str] | None = None,
+    root: Path | str | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint files or trees and return the full report.
+
+    ``paths`` defaults to ``root`` (default: the working directory).
+    Directory arguments are walked recursively with the standard
+    excludes; file arguments are always linted, with every selected
+    rule.  ``select``/``ignore`` filter by rule id.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    targets = [Path(p) for p in paths] if paths else [root]
+    rules = _resolve_rules(select, ignore)
+
+    report = LintReport()
+    modules: list[tuple[LintModule, bool]] = []
+    for file, explicit in _iter_files(targets, root):
+        rel = _rel_path(file, root)
+        try:
+            source = file.read_text(encoding="utf-8")
+            module = LintModule(file, rel, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            line = getattr(error, "lineno", None) or 1
+            report.violations.append(
+                Violation(rel, int(line), 0, META_RULE_ID, f"could not parse file: {error}")
+            )
+            report.files_checked += 1
+            continue
+        modules.append((module, explicit))
+        report.files_checked += 1
+
+    raw: list[Violation] = []
+    for module, explicit in modules:
+        for rule in rules:
+            if rule.scope != "module" or not rule.applies_to(module.rel_path, explicit):
+                continue
+            raw.extend(rule.check_module(module))
+    project_modules = [module for module, _ in modules]
+    for rule in rules:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(project_modules))
+
+    by_rel = {module.rel_path: module for module, _ in modules}
+    for violation in raw:
+        module = by_rel.get(violation.path)
+        directive = (
+            module.suppression_for(violation.line, violation.rule) if module else None
+        )
+        if directive is not None:
+            directive.used = True
+            continue
+        report.violations.append(violation)
+
+    # Directive hygiene: every suppression must carry a justification and
+    # must still match a violation (else it is stale and misleading).
+    for module, _ in modules:
+        for directive in module.suppressions.values():
+            if not directive.justification:
+                report.violations.append(
+                    Violation(
+                        module.rel_path,
+                        directive.line,
+                        0,
+                        META_RULE_ID,
+                        "suppression without a '-- justification' clause: "
+                        + ", ".join(sorted(directive.rules)),
+                    )
+                )
+            elif not directive.used:
+                suppressed_selected = directive.rules & {rule.id for rule in rules}
+                if suppressed_selected and select is None and ignore is None:
+                    report.violations.append(
+                        Violation(
+                            module.rel_path,
+                            directive.line,
+                            0,
+                            META_RULE_ID,
+                            "stale suppression (no matching violation): "
+                            + ", ".join(sorted(directive.rules)),
+                        )
+                    )
+
+    report.violations.sort()
+    return report

@@ -1,0 +1,130 @@
+"""RPR004 — counting-backend name drift across files.
+
+The set of counting backends is spelled out as string literals in three
+places that the type system never reconciles: the miner's validation
+tuple in ``chi2support.py``, the CLI's ``--counting`` choices in
+``cli.py``, and the ``COUNTING_BACKENDS`` tuple the differential
+backend-equivalence suite iterates.  A backend added to the miner but
+not to the test tuple silently loses its bit-identity guarantee; one
+added to the CLI but not the miner is a user-facing crash.  This
+project-scope rule parses all three literals and reports every file
+whose set disagrees with the miner's (the authoritative source).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.astutil import call_name, constant_strings
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+_MINER_FILE = "chi2support.py"
+_CLI_FILE = "cli.py"
+_TEST_FILE = "test_backend_equivalence.py"
+
+
+def _miner_backends(module: LintModule) -> tuple[list[str], int] | None:
+    """The tuple in ``if counting not in (...)`` — the validation gate."""
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.NotIn)
+            and isinstance(node.left, ast.Name)
+            and node.left.id == "counting"
+        ):
+            values = constant_strings(node.comparators[0])
+            if values is not None:
+                return values, node.lineno
+    return None
+
+
+def _cli_backends(module: LintModule) -> tuple[list[str], int] | None:
+    """The ``choices=[...]`` of the ``--counting`` argument."""
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and call_name(node.func) is not None
+            and call_name(node.func).endswith("add_argument")
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "--counting"
+        ):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "choices":
+                values = constant_strings(keyword.value)
+                if values is not None:
+                    return values, node.lineno
+    return None
+
+
+def _test_backends(module: LintModule) -> tuple[list[str], int] | None:
+    """The suite's ``COUNTING_BACKENDS = (...)`` assignment."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "COUNTING_BACKENDS":
+                    values = constant_strings(node.value)
+                    if values is not None:
+                        return values, node.lineno
+    return None
+
+
+@register
+class BackendDriftRule(Rule):
+    id = "RPR004"
+    name = "backend-name-drift"
+    rationale = (
+        "The miner's backend tuple, the CLI choices, and the equivalence "
+        "suite's backend list must name the same set, or a backend escapes "
+        "its bit-identity guarantee."
+    )
+    scope = "project"
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Violation]:
+        sources: dict[str, tuple[LintModule, list[str], int]] = {}
+        extractors = {
+            _MINER_FILE: _miner_backends,
+            _CLI_FILE: _cli_backends,
+            _TEST_FILE: _test_backends,
+        }
+        for module in modules:
+            basename = module.rel_path.rsplit("/", 1)[-1]
+            extractor = extractors.get(basename)
+            if extractor is None or basename in sources:
+                continue
+            found = extractor(module)
+            if found is not None:
+                sources[basename] = (module, found[0], found[1])
+
+        if len(sources) < 2:
+            return  # nothing to cross-check against
+        # The miner is authoritative; otherwise fall back to the CLI.
+        reference_name = _MINER_FILE if _MINER_FILE in sources else _CLI_FILE
+        if reference_name not in sources:
+            reference_name = next(iter(sources))
+        _, reference, _ = sources[reference_name]
+        reference_set = set(reference)
+
+        for basename, (module, values, line) in sorted(sources.items()):
+            if basename == reference_name:
+                continue
+            missing = sorted(reference_set - set(values))
+            extra = sorted(set(values) - reference_set)
+            if not missing and not extra:
+                continue
+            details = []
+            if missing:
+                details.append(f"missing {missing}")
+            if extra:
+                details.append(f"extra {extra}")
+            yield Violation(
+                module.rel_path,
+                line,
+                0,
+                self.id,
+                f"counting backends drifted from {reference_name} "
+                f"({', '.join(details)}); keep the three literals in sync",
+            )

@@ -1,0 +1,75 @@
+"""RPR001 — float-literal equality comparisons.
+
+The statistics layers compare floats constantly (``stat >= cutoff``,
+validity thresholds) and those are fine; what regresses silently is
+``==``/``!=`` against a float *literal*, which only works when the value
+is exactly representable and every code path produces it bit-for-bit.
+The one idiom the codebase relies on — and therefore allows — is the
+sentinel guard against exactly ``0.0`` or ``1.0`` (probabilities and
+expectations pinned at the boundary by construction, e.g. the
+``expected == 0.0`` structural-zero checks in the chi-squared sums).
+Anything else must go through a tolerance or be suppressed with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+_SENTINELS = (0.0, 1.0)
+
+
+def _float_literal(node: ast.expr) -> float | None:
+    """The value of a float constant expression, unary minus included."""
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and type(node.operand.value) is float
+    ):
+        return -node.operand.value
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "RPR001"
+    name = "float-literal-equality"
+    rationale = (
+        "Float equality against non-sentinel literals breaks under any "
+        "reordering of arithmetic; only exact 0.0/1.0 boundary guards are safe."
+    )
+    dir_scope = (
+        "src/repro/stats",
+        "src/repro/core",
+        "src/repro/kernels",
+        "src/repro/measures",
+        "src/repro/algorithms",
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (operands[index], operands[index + 1]):
+                    value = _float_literal(side)
+                    if value is None or value in _SENTINELS:
+                        continue
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"equality comparison against float literal {value!r}; "
+                        "use a tolerance (only sentinel 0.0/1.0 guards are exact)",
+                    )
+                    break

@@ -1,0 +1,86 @@
+"""RPR006 — generic hygiene: mutable defaults, bare/swallowed excepts.
+
+Three classic Python failure modes with a history of corrupting
+long-lived mining state:
+
+* **Mutable default arguments** persist across calls — a default
+  ``cache={}`` shared between two miner instances is a cross-request
+  correctness bug at production scale.
+* **Bare ``except:``** catches ``KeyboardInterrupt``/``SystemExit`` and
+  turns an operator's Ctrl-C into a hang inside a worker pool.
+* **Swallowed exceptions** (``except ...: pass``) hide real failures;
+  the parallel engine's contract is that a worker crash *raises or
+  degrades loudly*, never disappears.  Intentional finalizer guards
+  carry a suppression with a written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "Counter", "deque", "bytearray"}
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _only_passes(body: list[ast.stmt]) -> bool:
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant):
+            continue  # docstring or ellipsis
+        return False
+    return True
+
+
+@register
+class HygieneRule(Rule):
+    id = "RPR006"
+    name = "hygiene"
+    rationale = (
+        "Mutable defaults leak state across calls; bare excepts eat Ctrl-C; "
+        "silently swallowed exceptions hide worker failures."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = [*node.args.defaults, *node.args.kw_defaults]
+                for default in defaults:
+                    if default is not None and _is_mutable_literal(default):
+                        yield Violation(
+                            module.rel_path,
+                            default.lineno,
+                            default.col_offset,
+                            self.id,
+                            "mutable default argument is shared across calls; "
+                            "default to None and construct inside the function",
+                        )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                        "name the exceptions this site can actually handle",
+                    )
+                if _only_passes(node.body):
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        "exception swallowed with 'pass'; handle it, log it, or "
+                        "suppress this line with a written justification",
+                    )

@@ -1,0 +1,86 @@
+"""RPR002 — unguarded top-level NumPy imports outside ``kernels/``.
+
+The core miner is pure Python; NumPy is the optional ``[fast]`` extra.
+Every layer except :mod:`repro.kernels` must import cleanly when NumPy
+is absent, which means module-level ``import numpy`` anywhere else must
+sit inside a ``try``/``except ImportError`` guard (or move into the
+function that needs it).  A single unguarded import in, say, the data
+layer makes ``import repro.data`` — and everything above it — explode on
+a NumPy-less install, defeating the pure-Python fallback the
+backend-equivalence suite certifies.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+_GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception", "BaseException"}
+
+
+def _handler_guards_import(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except guards, however inadvisable
+        return True
+    names = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for name in names:
+        if isinstance(name, ast.Attribute):
+            name = ast.Name(id=name.attr)
+        if isinstance(name, ast.Name) and name.id in _GUARD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _imports_numpy(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(alias.name.split(".")[0] == "numpy" for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        return node.level == 0 and (node.module or "").split(".")[0] == "numpy"
+    return False
+
+
+@register
+class NumpyGuardRule(Rule):
+    id = "RPR002"
+    name = "unguarded-numpy-import"
+    rationale = (
+        "NumPy is the optional [fast] extra; outside kernels/, module import "
+        "must succeed without it so the pure-Python fallback stays reachable."
+    )
+    dir_scope = ("src/",)
+    dir_exempt = ("src/repro/kernels/",)
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        yield from self._scan(module, module.tree.body, guarded=False)
+
+    def _scan(
+        self, module: LintModule, body: list[ast.stmt], guarded: bool
+    ) -> Iterator[Violation]:
+        """Walk module-level statements only — function bodies are lazy."""
+        for node in body:
+            if _imports_numpy(node) and not guarded:
+                yield Violation(
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    "top-level NumPy import without an ImportError guard; "
+                    "wrap in try/except or import inside the function that needs it",
+                )
+            elif isinstance(node, ast.Try):
+                covered = guarded or any(
+                    _handler_guards_import(handler) for handler in node.handlers
+                )
+                yield from self._scan(module, node.body, covered)
+                for handler in node.handlers:
+                    yield from self._scan(module, handler.body, guarded)
+                yield from self._scan(module, node.orelse, guarded)
+                yield from self._scan(module, node.finalbody, guarded)
+            elif isinstance(node, ast.If):
+                yield from self._scan(module, node.body, guarded)
+                yield from self._scan(module, node.orelse, guarded)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                yield from self._scan(module, node.body, guarded)

@@ -1,0 +1,96 @@
+"""RPR005 — unpicklable callables handed to a multiprocessing pool.
+
+``multiprocessing`` ships tasks by pickling, and pickle resolves
+functions by qualified name: lambdas and functions defined inside
+another function cannot be resolved from a worker process and fail at
+dispatch time — but only on the parallel path, which the serial
+fallback then papers over as a mysterious performance regression (every
+batch degrades to serial counting).  The engine's task functions must
+stay module-level; this rule flags lambdas and locally-defined
+functions passed to pool submission methods or as a pool
+``initializer``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+_POOL_METHODS = {
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "submit",
+}
+
+
+def _local_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function (unpicklable)."""
+    local: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                if child is not node and isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    local.add(child.name)
+    return local
+
+
+@register
+class PicklableTaskRule(Rule):
+    id = "RPR005"
+    name = "unpicklable-pool-task"
+    rationale = (
+        "Pool tasks travel by pickle; lambdas and nested functions fail at "
+        "dispatch and silently demote the engine to serial counting."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        local_names = _local_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidates: list[ast.expr] = []
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_METHODS
+                and node.args
+            ):
+                candidates.append(node.args[0])
+            for keyword in node.keywords:
+                if keyword.arg == "initializer":
+                    candidates.append(keyword.value)
+            for candidate in candidates:
+                problem = self._unpicklable(candidate, local_names)
+                if problem:
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"{problem} submitted to a worker pool cannot be "
+                        "pickled; move the task to module level",
+                    )
+
+    @staticmethod
+    def _unpicklable(candidate: ast.expr, local_names: set[str]) -> str | None:
+        if isinstance(candidate, ast.Lambda):
+            return "lambda"
+        if isinstance(candidate, ast.Name) and candidate.id in local_names:
+            return f"locally-defined function {candidate.id!r}"
+        if (
+            isinstance(candidate, ast.Call)
+            and isinstance(candidate.func, ast.Name)
+            and candidate.func.id == "partial"
+            and candidate.args
+        ):
+            return PicklableTaskRule._unpicklable(candidate.args[0], local_names)
+        return None

@@ -89,7 +89,7 @@ class ContingencyTable:
                 raise ValueError(f"cell counts must be non-negative, got {count}")
             if count:
                 cleaned[cell] = count
-        total = sum(cleaned.values())
+        total = sum(cleaned[cell] for cell in sorted(cleaned))
         if n is None:
             n = total
         elif total - n > 1e-9 * max(1.0, n):
@@ -100,7 +100,10 @@ class ContingencyTable:
         self._n = n
         self._counts = cleaned
         marginals = [0.0] * k
-        for cell, count in cleaned.items():
+        # Canonical cell order: the marginals are float sums, and the
+        # mapping's insertion order is whatever the caller produced.
+        for cell in sorted(cleaned):
+            count = cleaned[cell]
             for j in range(k):
                 if (cell >> j) & 1:
                     marginals[j] += count
@@ -162,7 +165,11 @@ class ContingencyTable:
         k = len(itemset)
         occupied = {cell: count for cell, count in cells.items() if count}
         marginals = [0.0] * k
-        for cell, count in occupied.items():
+        # Kernel counts are integers (exact under any order), but summing
+        # in canonical cell order keeps every backend's tables identical
+        # even for float-valued inputs.
+        for cell in sorted(occupied):
+            count = occupied[cell]
             for j in range(k):
                 if (cell >> j) & 1:
                     marginals[j] += count
@@ -180,7 +187,7 @@ class ContingencyTable:
         ``percentages`` maps cell index to percent of baskets; counts are
         scaled so they sum to ``n``.
         """
-        total = sum(percentages.values())
+        total = sum(percentages[cell] for cell in sorted(percentages))
         if total <= 0:
             raise ValueError("percentages must sum to a positive value")
         scale = n / total
@@ -527,6 +534,7 @@ def count_tables_single_pass(
         for item in basket:
             for s in by_item.get(item, ()):
                 patterns[s] = patterns.get(s, 0) | bit_of[s][item]
+        # replint: disable=RPR003 -- integer increments only; addition is exact, order cannot change the counts
         for s, cell in patterns.items():
             table = counts[s]
             table[cell] = table.get(cell, 0) + 1

@@ -23,7 +23,19 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # the pure-Python install: module imports, fitting raises
+    np = None
+
+
+def _require_numpy() -> None:
+    """Fail with an actionable message when the [fast] extra is missing."""
+    if np is None:
+        raise ImportError(
+            "iterative proportional fitting needs NumPy; "
+            "install the [fast] extra (pip install repro[fast])"
+        )
 
 __all__ = ["PairwiseTarget", "IPFResult", "fit_pairwise", "materialize_counts"]
 
@@ -102,6 +114,7 @@ def fit_pairwise(
 
     Raises ValueError when an attribute index is out of range.
     """
+    _require_numpy()
     if n_attributes < 1:
         raise ValueError("need at least one attribute")
     if isinstance(targets, Mapping):
@@ -126,6 +139,7 @@ def fit_pairwise(
     max_error = np.inf
     for iterations in range(1, max_iterations + 1):
         max_error = 0.0
+        # replint: disable=RPR003 -- IPF sweep order is part of the algorithm: constraints are applied in the caller's published-table order, and reordering would move the fixed point (and the golden census bits)
         for key, target in normalized.items():
             pattern = patterns[key]
             current = np.bincount(pattern, weights=joint, minlength=4)
@@ -164,6 +178,7 @@ def materialize_counts(joint: np.ndarray, n: int) -> np.ndarray:
     the leftover units to the cells with the largest fractional parts.
     Deterministic, so the synthesized census is reproducible bit for bit.
     """
+    _require_numpy()
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
     total = joint.sum()

@@ -201,7 +201,7 @@ class ParallelCountingEngine:
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # replint: disable=RPR006 -- finalizer during interpreter teardown must never raise; the pool is dying with the process anyway
             pass
 
     # -- counting -------------------------------------------------------------

@@ -1,0 +1,19 @@
+"""Fixture: only sentinel and tolerance-based float comparisons (RPR001)."""
+
+import math
+
+
+def structural_zero(expected: float) -> bool:
+    return expected == 0.0  # sentinel guard: exact boundary by construction
+
+
+def saturated(probability: float) -> bool:
+    return probability == 1.0
+
+
+def converged(error: float) -> bool:
+    return math.isclose(error, 0.5, rel_tol=1e-9)
+
+
+def integer_compare(count: int) -> bool:
+    return count == 3

@@ -1,0 +1,13 @@
+"""Fixture: float-literal equality outside the sentinel guards (RPR001)."""
+
+
+def converged(error: float) -> bool:
+    return error == 0.5  # non-sentinel literal: breaks under reordering
+
+
+def not_quite(ratio: float) -> bool:
+    return ratio != 3.14
+
+
+def negative_literal(x: float) -> bool:
+    return x == -2.5

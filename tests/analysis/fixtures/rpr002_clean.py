@@ -1,0 +1,18 @@
+"""Fixture: NumPy imports guarded or deferred (RPR002)."""
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
+
+
+def double(values):
+    if np is None:
+        return [value * 2 for value in values]
+    return np.asarray(values) * 2
+
+
+def lazy_sum(values):
+    import numpy  # function-level: only paid when this path runs
+
+    return numpy.asarray(values).sum()

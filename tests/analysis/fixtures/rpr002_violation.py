@@ -1,0 +1,7 @@
+"""Fixture: unguarded top-level NumPy import (RPR002)."""
+
+import numpy as np
+
+
+def double(values):
+    return np.asarray(values) * 2

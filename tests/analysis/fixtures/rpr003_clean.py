@@ -1,0 +1,30 @@
+"""Fixture: canonical-order iteration for every accumulation (RPR003)."""
+
+
+def total_mass(weights: dict[int, float]) -> float:
+    return sum(weights[cell] for cell in sorted(weights))
+
+
+def accumulate(cells: dict[int, float]) -> list[float]:
+    marginals = [0.0, 0.0]
+    for cell in sorted(cells):
+        marginals[cell % 2] += cells[cell]
+    return marginals
+
+
+def emit_candidates(items: set[int]) -> list[int]:
+    out: list[int] = []
+    for item in sorted(items):
+        out.append(item * 2)
+    return out
+
+
+def count_members(items: set[int]) -> int:
+    return sum(1 for item in items if item > 0)  # integer counting is exact
+
+
+def transform(items: set[int]) -> dict[int, int]:
+    mapping = {}
+    for item in items:  # no accumulation: dict assembly is order-free
+        mapping[item] = item * 2
+    return mapping

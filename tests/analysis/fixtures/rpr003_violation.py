@@ -1,0 +1,24 @@
+"""Fixture: unordered iteration feeding order-sensitive sums (RPR003)."""
+
+
+def total_mass(weights: dict[int, float]) -> float:
+    return sum(weights.values())  # caller-dependent insertion order
+
+
+def accumulate(cells: dict[int, float]) -> list[float]:
+    marginals = [0.0, 0.0]
+    for cell, weight in cells.items():
+        marginals[cell % 2] += weight
+    return marginals
+
+
+def emit_candidates(items: set[int]) -> list[int]:
+    out: list[int] = []
+    for item in items:
+        out.append(item * 2)
+    return out
+
+
+def sum_of_set() -> float:
+    values = {0.1, 0.2, 0.3}
+    return sum(values)

@@ -1,0 +1,8 @@
+"""Fixture miner: backend names consistent across all three files (RPR004)."""
+
+
+class Miner:
+    def __init__(self, counting: str = "bitmap") -> None:
+        if counting not in ("bitmap", "single_pass", "vectorized"):
+            raise ValueError(f"unknown counting strategy {counting!r}")
+        self.counting = counting

@@ -1,0 +1,13 @@
+"""Fixture CLI: --counting choices matching the miner exactly (RPR004)."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--counting",
+        choices=["bitmap", "single_pass", "vectorized"],
+        default="bitmap",
+    )
+    return parser

@@ -1,0 +1,3 @@
+"""Fixture suite: backend tuple matching the miner exactly (RPR004)."""
+
+COUNTING_BACKENDS = ("bitmap", "single_pass", "vectorized")

@@ -1,0 +1,8 @@
+"""Fixture miner: declares a backend the other two files do not know (RPR004)."""
+
+
+class Miner:
+    def __init__(self, counting: str = "bitmap") -> None:
+        if counting not in ("bitmap", "single_pass", "cube", "vectorized", "parallel", "gpu"):
+            raise ValueError(f"unknown counting strategy {counting!r}")
+        self.counting = counting

@@ -1,0 +1,13 @@
+"""Fixture CLI: --counting choices missing the miner's newest backend (RPR004)."""
+
+import argparse
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--counting",
+        choices=["bitmap", "single_pass", "cube", "vectorized", "parallel"],
+        default="bitmap",
+    )
+    return parser

@@ -1,0 +1,3 @@
+"""Fixture suite: backend tuple lagging behind the miner (RPR004)."""
+
+COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized")

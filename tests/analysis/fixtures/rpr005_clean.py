@@ -1,0 +1,23 @@
+"""Fixture: only module-level (picklable) callables reach the pool (RPR005)."""
+
+import multiprocessing
+
+
+def _task(v):
+    return v * 2
+
+
+def _init_worker():
+    pass
+
+
+def run(values):
+    with multiprocessing.Pool(2, initializer=_init_worker) as pool:
+        return pool.map(_task, values)
+
+
+def local_use_is_fine(values):
+    def helper(v):  # never crosses a process boundary
+        return v * 2
+
+    return [helper(v) for v in values]

@@ -1,0 +1,20 @@
+"""Fixture: unpicklable callables handed to a worker pool (RPR005)."""
+
+import multiprocessing
+
+
+def run_lambda(values):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda v: v * 2, values)
+
+
+def run_nested(values):
+    def task(v):
+        return v * 2
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.apply_async(task, (values[0],)).get()
+
+
+def lambda_initializer():
+    return multiprocessing.Pool(2, initializer=lambda: None)

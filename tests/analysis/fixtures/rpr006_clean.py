@@ -1,0 +1,20 @@
+"""Fixture: hygienic defaults and exception handling (RPR006)."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def remember(value, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(value)
+    return seen
+
+
+def risky(action):
+    try:
+        return action()
+    except ValueError as error:
+        logger.warning("action rejected: %s", error)
+        return None

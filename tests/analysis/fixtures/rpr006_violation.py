@@ -1,0 +1,25 @@
+"""Fixture: mutable defaults, bare except, swallowed exception (RPR006)."""
+
+
+def remember(value, seen=[]):
+    seen.append(value)
+    return seen
+
+
+def merge(extra, base={}):
+    base.update(extra)
+    return base
+
+
+def risky(action):
+    try:
+        action()
+    except:
+        return None
+
+
+def silent(action):
+    try:
+        action()
+    except ValueError:
+        pass

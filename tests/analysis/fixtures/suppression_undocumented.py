@@ -1,0 +1,8 @@
+"""Fixture: a suppression with no justification clause (RPR000)."""
+
+
+def risky(action):
+    try:
+        action()
+    except ValueError:  # replint: disable=RPR006
+        pass

@@ -1,0 +1,77 @@
+"""Fixture-driven checks: every RPR rule flags its violating fixture and
+passes its clean twin, and the drift rule cross-checks file trios."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import REGISTRY, lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+MODULE_RULES = ["RPR001", "RPR002", "RPR003", "RPR005", "RPR006"]
+
+
+def lint_fixture(name: str, select: list[str] | None = None):
+    return lint(paths=[FIXTURES / name], root=FIXTURES, select=select)
+
+
+@pytest.mark.parametrize("rule_id", MODULE_RULES)
+def test_violating_fixture_is_flagged(rule_id: str):
+    report = lint_fixture(f"{rule_id.lower()}_violation.py", select=[rule_id])
+    assert not report.clean, f"{rule_id} missed its violating fixture"
+    assert {v.rule for v in report.violations} == {rule_id}
+    assert report.exit_code() == 1
+
+
+@pytest.mark.parametrize("rule_id", MODULE_RULES)
+def test_clean_fixture_passes(rule_id: str):
+    report = lint_fixture(f"{rule_id.lower()}_clean.py", select=[rule_id])
+    assert report.clean, [v.render() for v in report.violations]
+    assert report.exit_code() == 0
+
+
+@pytest.mark.parametrize("rule_id", MODULE_RULES)
+def test_violating_fixture_fails_under_full_rule_set(rule_id: str):
+    """Acceptance criterion: the unrestricted linter rejects each fixture."""
+    report = lint_fixture(f"{rule_id.lower()}_violation.py")
+    assert rule_id in {v.rule for v in report.violations}
+    assert report.exit_code() == 1
+
+
+def test_rpr004_flags_drifted_trio():
+    report = lint_fixture("rpr004_violation", select=["RPR004"])
+    flagged = {v.path.rsplit("/", 1)[-1] for v in report.violations}
+    # The miner declares "gpu"; both the CLI and the suite lag behind.
+    assert flagged == {"cli.py", "test_backend_equivalence.py"}
+    assert all(v.rule == "RPR004" for v in report.violations)
+    assert any("gpu" in v.message for v in report.violations)
+
+
+def test_rpr004_passes_consistent_trio():
+    report = lint_fixture("rpr004_clean", select=["RPR004"])
+    assert report.clean, [v.render() for v in report.violations]
+
+
+def test_rpr001_violation_line_numbers_point_at_the_comparison():
+    report = lint_fixture("rpr001_violation.py", select=["RPR001"])
+    source = (FIXTURES / "rpr001_violation.py").read_text().splitlines()
+    for violation in report.violations:
+        assert "==" in source[violation.line - 1] or "!=" in source[violation.line - 1]
+
+
+def test_rule_scoping_walked_vs_explicit():
+    """dir_scope binds tree walks but never explicitly-passed files."""
+    rpr001 = REGISTRY["RPR001"]
+    assert rpr001.applies_to("src/repro/stats/chi2.py")
+    assert rpr001.applies_to("src/repro/core/correlation.py")
+    assert not rpr001.applies_to("tests/stats/test_chi2.py")
+    assert rpr001.applies_to("tests/stats/test_chi2.py", explicit=True)
+
+    rpr002 = REGISTRY["RPR002"]
+    assert rpr002.applies_to("src/repro/data/ipf.py")
+    # kernels/ is the NumPy home; exempt even when passed explicitly.
+    assert not rpr002.applies_to("src/repro/kernels/sweep.py")
+    assert not rpr002.applies_to("src/repro/kernels/sweep.py", explicit=True)

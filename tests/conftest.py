@@ -47,4 +47,5 @@ def independent_db() -> BasketDatabase:
 @pytest.fixture(scope="session")
 def census_db() -> BasketDatabase:
     """The synthesized census (expensive enough to share across tests)."""
+    pytest.importorskip("numpy", reason="census reconstruction needs the [fast] extra")
     return synthesize_census()

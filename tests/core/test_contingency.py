@@ -167,6 +167,7 @@ class TestSparsity:
 
 class TestDenseExport:
     def test_to_dense_shape_and_values(self, small_db):
+        pytest.importorskip("numpy", reason="to_dense needs the [fast] extra")
         table = ContingencyTable.from_database(small_db, Itemset([0, 1]))
         arr = table.to_dense()
         assert arr.shape == (2, 2)

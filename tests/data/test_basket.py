@@ -49,6 +49,10 @@ class TestConstruction:
 
 
 class TestBooleanMatrix:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy", reason="boolean-matrix interchange needs the [fast] extra")
+
     def test_roundtrip(self, db):
         matrix = db.to_boolean_matrix()
         rebuilt = BasketDatabase.from_boolean_matrix(

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytest.importorskip("numpy", reason="census reconstruction (IPF) needs the [fast] extra")
+
 from repro.core.contingency import ContingencyTable
 from repro.core.correlation import chi_squared
 from repro.core.itemsets import Itemset

@@ -4,6 +4,8 @@ from collections import Counter
 
 import pytest
 
+pytest.importorskip("numpy", reason="census reconstruction (IPF) needs the [fast] extra")
+
 from repro.data.census import synthesize_census
 from repro.data.census_records import census_schema, synthesize_census_records
 from repro.data.discretize import discretize

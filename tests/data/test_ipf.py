@@ -1,7 +1,8 @@
 """Unit tests for iterative proportional fitting."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")
 
 from repro.data.ipf import PairwiseTarget, fit_pairwise, materialize_counts
 

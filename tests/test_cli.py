@@ -168,6 +168,7 @@ class TestGenerateCommand:
         assert db.n_baskets == 91
 
     def test_generate_census(self, tmp_path, capsys):
+        pytest.importorskip("numpy", reason="census generation needs the [fast] extra")
         path = tmp_path / "census.txt"
         code = main(["generate", "census", "--output", str(path)])
         assert code == 0

@@ -33,6 +33,7 @@ def test_market_basket_pitfalls_runs():
 
 
 def test_census_mining_runs():
+    pytest.importorskip("numpy", reason="census example needs the [fast] extra")
     result = run_example("census_mining.py")
     assert result.returncode == 0, result.stderr
     assert "chi-squared = 20" in result.stdout  # ~2006-2060
@@ -49,6 +50,7 @@ def test_text_mining_runs_pairs_only():
 
 
 def test_records_pipeline_runs():
+    pytest.importorskip("numpy", reason="records pipeline example needs the [fast] extra")
     result = run_example("records_pipeline.py")
     assert result.returncode == 0, result.stderr
     assert "significant pairs:" in result.stdout
@@ -56,6 +58,7 @@ def test_records_pipeline_runs():
 
 
 def test_beyond_binary_runs():
+    pytest.importorskip("numpy", reason="beyond-binary example needs the [fast] extra")
     result = run_example("beyond_binary.py")
     assert result.returncode == 0, result.stderr
     assert "correlated: True" in result.stdout

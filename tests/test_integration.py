@@ -156,6 +156,7 @@ class TestCrossSystemPipelines:
 
     def test_cli_mine_reproduces_example4_decision(self, tmp_path, capsys):
         """End to end through the CLI: census file in, i2/i7 rule out."""
+        pytest.importorskip("numpy", reason="census synthesis needs the [fast] extra")
         from repro.cli import main
         from repro.data.io import write_named_baskets
 

@@ -315,6 +315,7 @@ def test_itemset_table_backends_agree(raw):
 )
 @settings(max_examples=40)
 def test_ipf_single_target_is_exact(cells):
+    pytest.importorskip("numpy", reason="IPF needs the [fast] extra")
     from repro.data.ipf import PairwiseTarget, fit_pairwise
 
     target = PairwiseTarget(0, 1, cells)
@@ -327,7 +328,7 @@ def test_ipf_single_target_is_exact(cells):
 
 @given(st.integers(0, 2**20), st.integers(1, 500))
 def test_materialize_counts_total(seed, n):
-    import numpy as np
+    np = pytest.importorskip("numpy", reason="IPF needs the [fast] extra")
 
     from repro.data.ipf import materialize_counts
 
