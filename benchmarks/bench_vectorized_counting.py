@@ -31,6 +31,7 @@ from repro.core.itemsets import Itemset
 from repro.data.census import synthesize_census
 from repro.data.quest import QuestParameters, generate_quest
 from repro.kernels import HAS_NUMPY, count_tables_vectorized
+from repro.obs import MetricsRegistry
 
 try:
     import pytest
@@ -53,7 +54,7 @@ LEVEL3_TOP_ITEMS = 40
 BACKENDS = ("single_pass", "bitmap", "vectorized")
 
 
-def _count_with(backend: str, db, itemsets):
+def _count_with(backend: str, db, itemsets, metrics=None):
     if backend == "single_pass":
         return count_tables_single_pass(db, itemsets)
     if backend == "bitmap":
@@ -62,7 +63,7 @@ def _count_with(backend: str, db, itemsets):
             for itemset in itemsets
         }
     if backend == "vectorized":
-        return count_tables_vectorized(db, itemsets)
+        return count_tables_vectorized(db, itemsets, metrics=metrics)
     raise ValueError(backend)
 
 
@@ -75,7 +76,7 @@ def _level_candidates(db, level: int) -> list[Itemset]:
     return [Itemset(triple) for triple in combinations(top, 3)]
 
 
-def _bench_level(db, level: int) -> dict:
+def _bench_level(db, level: int, metrics=None) -> dict:
     """Time every backend on one level's candidates; verify cell equality."""
     itemsets = _level_candidates(db, level)
     timings: dict[str, float] = {}
@@ -85,7 +86,7 @@ def _bench_level(db, level: int) -> dict:
         # first-call setup are not billed to whichever backend runs first.
         _count_with(backend, db, itemsets[:1])
         start = time.perf_counter()
-        tables[backend] = _count_with(backend, db, itemsets)
+        tables[backend] = _count_with(backend, db, itemsets, metrics=metrics)
         timings[backend] = time.perf_counter() - start
 
     reference = tables["single_pass"]
@@ -109,7 +110,7 @@ def _bench_level(db, level: int) -> dict:
     }
 
 
-def _bench_dataset(db) -> dict:
+def _bench_dataset(db, metrics=None) -> dict:
     # The packed index is built lazily on the first vectorized call and
     # cached on the database; build it up front and report its cost
     # separately so per-level timings compare steady-state counting.
@@ -122,8 +123,8 @@ def _bench_dataset(db) -> dict:
         "n_items": db.n_items,
         "packed_index_build_s": round(index_build, 6),
         "levels": {
-            "level2": _bench_level(db, 2),
-            "level3": _bench_level(db, 3),
+            "level2": _bench_level(db, 2, metrics=metrics),
+            "level3": _bench_level(db, 3, metrics=metrics),
         },
     }
 
@@ -131,6 +132,11 @@ def _bench_dataset(db) -> dict:
 def run_benchmark() -> dict:
     census = synthesize_census()
     quest = generate_quest(QuestParameters(**QUEST_PARAMS))
+    # The vectorized backend runs with a live metrics registry so the
+    # report embeds the kernel-dispatch counters (which sweep counted
+    # how many itemsets, numpy presence) next to the timings — the
+    # structured perf-trajectory data the observability layer provides.
+    metrics = MetricsRegistry()
     return {
         "benchmark": "vectorized counting kernels vs pure-Python backends",
         "generated_by": "benchmarks/bench_vectorized_counting.py",
@@ -139,9 +145,10 @@ def run_benchmark() -> dict:
         "quest_params": dict(QUEST_PARAMS),
         "speedup_floor_vs_single_pass": SPEEDUP_FLOOR,
         "datasets": {
-            "census": _bench_dataset(census),
-            "quest": _bench_dataset(quest),
+            "census": _bench_dataset(census, metrics=metrics),
+            "quest": _bench_dataset(quest, metrics=metrics),
         },
+        "metrics": metrics.snapshot(),
     }
 
 

@@ -67,6 +67,7 @@ from repro.core import (
 )
 from repro.data import BasketDatabase, CountDatacube
 from repro.measures import AntiSupport, CellSupport
+from repro.obs import Telemetry
 
 __version__ = "1.0.0"
 
@@ -116,5 +117,6 @@ __all__ = [
     "CountDatacube",
     "AntiSupport",
     "CellSupport",
+    "Telemetry",
     "__version__",
 ]

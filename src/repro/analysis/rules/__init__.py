@@ -10,6 +10,7 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     backend_drift,
     float_equality,
     hygiene,
+    no_print,
     numpy_guard,
     ordered_iteration,
     picklable,

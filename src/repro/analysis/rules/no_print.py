@@ -1,0 +1,59 @@
+"""RPR007 — bare ``print(...)`` in library code.
+
+A library that prints is a library an operator cannot silence, redirect,
+or structure: output bypasses the observability layer (`repro.obs`) and
+stdlib ``logging``, corrupts stdout consumers (the CLI's ``--json`` mode
+pipes mining results to tools), and is invisible to the run report.
+Library modules under ``src/repro/`` must route human-facing output
+through :mod:`logging` (diagnostics) or return strings for a frontend
+to display; recording belongs in the telemetry bundle.
+
+The frontends themselves are exempt — the CLI entry points and the
+analysis reporters exist to write to the console:
+
+* ``src/repro/cli.py`` and ``src/repro/__main__.py``;
+* ``src/repro/analysis/__main__.py`` (the replint CLI).
+
+Everything else that needs to say something has ``logging`` and the
+``repro.obs`` exporters.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+
+@register
+class NoPrintRule(Rule):
+    id = "RPR007"
+    name = "print-in-library"
+    rationale = (
+        "Library output must flow through repro.obs or stdlib logging so it "
+        "can be silenced, structured, and kept off stdout; print() is for "
+        "the CLI frontends only."
+    )
+    dir_scope = ("src/",)
+    dir_exempt = (
+        "src/repro/cli.py",
+        "src/repro/__main__.py",
+        "src/repro/analysis/__main__.py",
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield Violation(
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    "print() in library code; use logging for diagnostics, "
+                    "return strings for display, or record into repro.obs",
+                )

@@ -14,11 +14,19 @@ together:
 Basket files are the plain-text formats of :mod:`repro.data.io`: one
 basket per line, whitespace-separated item names (default) or integer
 ids (``--numeric``).
+
+``mine`` is fully observable: ``--telemetry`` prints the run report
+(Table 5 with timings, cache/kernel/pool rollups) on stderr,
+``--metrics-out FILE`` writes the metrics snapshot + run report as
+JSON, and ``--trace-out FILE`` writes a Chrome trace-event file
+loadable in ``chrome://tracing``/Perfetto.  The global ``--log-level``
+configures stdlib logging on stderr for every command.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 
@@ -57,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Correlation rule mining (Brin, Motwani & Silverstein, SIGMOD 1997)",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"],
+        default=None,
+        help="configure stdlib logging on stderr (e.g. the parallel engine's warnings)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     mine = commands.add_parser("mine", help="mine significant correlated itemsets")
@@ -87,6 +101,23 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--limit", type=int, default=50, help="print at most this many rules")
     mine.add_argument(
         "--json", action="store_true", help="emit the full result as JSON instead of text"
+    )
+    mine.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/metrics and print the run report on stderr",
+    )
+    mine.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON file (chrome://tracing); implies --telemetry",
+    )
+    mine.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics snapshot + run report as JSON; implies --telemetry",
     )
 
     baseline = commands.add_parser("apriori", help="support-confidence baseline")
@@ -119,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_mine(args: argparse.Namespace) -> int:
+    telemetry = None
+    if args.telemetry or args.trace_out or args.metrics_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create()
+
     db = _load(args.input, args.numeric)
     miner = ChiSquaredSupportMiner(
         significance=args.significance,
@@ -128,8 +165,13 @@ def _command_mine(args: argparse.Namespace) -> int:
         counting=args.counting,
         workers=args.workers,
         cache_size=args.cache_size,
+        telemetry=telemetry,
     )
     result = miner.mine(db)
+
+    if telemetry is not None:
+        _export_telemetry(telemetry, result, args)
+
     if args.json:
         import json
 
@@ -148,6 +190,29 @@ def _command_mine(args: argparse.Namespace) -> int:
     ranked = sorted(result.rules, key=lambda r: -r.statistic)
     print(render_rules(ranked, db.vocabulary, limit=args.limit))
     return 0
+
+
+def _export_telemetry(telemetry, result, args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics files; run report goes to stderr.
+
+    stderr keeps the observability output separable from the mining
+    results on stdout, so ``repro mine ... > rules.txt`` still works.
+    """
+    import json
+
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.tracer.to_chrome_json(indent=2))
+            handle.write("\n")
+    if args.metrics_out:
+        payload = {
+            "metrics": telemetry.metrics.snapshot(),
+            "run_report": telemetry.run_report(result.level_stats),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(telemetry.render_summary(result.level_stats), file=sys.stderr)
 
 
 def _command_apriori(args: argparse.Namespace) -> int:
@@ -248,6 +313,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level),
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     try:
         return _COMMANDS[args.command](args)
     except (FileNotFoundError, ValueError, KeyError) as error:

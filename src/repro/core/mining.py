@@ -21,6 +21,7 @@ from repro.measures.cellsupport import CellSupport
 
 if TYPE_CHECKING:  # avoid a circular import; algorithms import core
     from repro.algorithms.chi2support import MiningResult
+    from repro.obs import Telemetry
 
 __all__ = ["correlation_rule", "mine_correlations", "FrameworkComparison", "compare_frameworks"]
 
@@ -69,6 +70,7 @@ def mine_correlations(
     counting: str = "bitmap",
     workers: int | None = None,
     cache_size: int = 256,
+    telemetry: "Telemetry | None" = None,
     **kwargs: object,
 ) -> "MiningResult":
     """Mine all significant (supported, minimally correlated) itemsets.
@@ -81,6 +83,12 @@ def mine_correlations(
     vectorized kernels when NumPy is available); ``workers`` and
     ``cache_size`` configure the parallel engine and are ignored by the
     serial backends.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) turns on the run's
+    observability: hierarchical spans, mining metrics, and the Table-5
+    run report, all reachable afterwards through the returned result's
+    ``run_report()`` / ``render_telemetry()`` or the bundle itself.
+    The default is the shared no-op bundle, which costs nearly nothing.
     """
     from repro.algorithms.chi2support import ChiSquaredSupportMiner
 
@@ -91,6 +99,7 @@ def mine_correlations(
         counting=counting,
         workers=workers,
         cache_size=cache_size,
+        telemetry=telemetry,
         **kwargs,  # type: ignore[arg-type]
     )
     return miner.mine(db)

@@ -30,12 +30,16 @@ kernels, so callers never need to gate on :data:`HAS_NUMPY` themselves.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core import contingency as _contingency
 from repro.core.contingency import ContingencyTable, count_cells
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
 from repro.kernels.packed import HAS_NUMPY, PackedBitmapIndex, popcount
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "HAS_NUMPY",
@@ -56,7 +60,9 @@ _MAX_SCAN_ITEMS = 63
 
 
 def count_cells_batch(
-    db: BasketDatabase, itemsets: Sequence[Itemset]
+    db: BasketDatabase,
+    itemsets: Sequence[Itemset],
+    metrics: "MetricsRegistry | None" = None,
 ) -> list[dict[int, int]]:
     """Exact sparse cell counts for a batch of itemsets, vectorized.
 
@@ -66,9 +72,16 @@ def count_cells_batch(
     vectorized Möbius kernel, wide ones through the basket-major scan.
     Results align with the input order and are bit-identical to
     :func:`repro.core.contingency.count_cells` per itemset.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives one
+    ``kernel_dispatch{path=...}`` increment per itemset recording which
+    kernel counted it, plus the ``numpy_present`` gauge — the dispatch
+    visibility the observability layer surfaces in run reports.
     """
     itemsets = list(itemsets)
+    dispatch = _dispatch_recorder(metrics)
     if not HAS_NUMPY:
+        dispatch("fallback", len(itemsets))
         return [count_cells(db, itemset) for itemset in itemsets]
     from repro.kernels.moebius import count_cells_moebius
     from repro.kernels.scan import count_cells_scan
@@ -88,36 +101,69 @@ def count_cells_batch(
         elif k == 3:
             triple_slots.append(slot)
         elif k == 1:
+            dispatch("unit")
             count = int(index.counts[items[0]])
             cells = {0b1: count, 0b0: index.n_baskets - count}
             results[slot] = {cell: c for cell, c in cells.items() if c}
         elif k <= MOEBIUS_MAX_ITEMS:
+            dispatch("moebius")
             results[slot] = count_cells_moebius(index, items)
         elif k <= _MAX_SCAN_ITEMS:
+            dispatch("scan")
             results[slot] = count_cells_scan(index, items)
         else:
             # Cell ids overflow int64 past 63 items; the sparse Python
             # scan handles arbitrary widths with big-int cells.
+            dispatch("fallback")
             results[slot] = _contingency._cells_by_scan(db, itemsets[slot])
 
     if pair_slots:
+        dispatch("gram", len(pair_slots))
         pairs = [itemsets[slot].items for slot in pair_slots]
         for slot, cells in zip(pair_slots, count_pairs_batch(index, pairs)):
             results[slot] = cells
     if triple_slots:
+        dispatch("gram", len(triple_slots))
         triples = [itemsets[slot].items for slot in triple_slots]
         for slot, cells in zip(triple_slots, count_triples_batch(index, triples)):
             results[slot] = cells
     return results  # type: ignore[return-value]
 
 
-def count_cells_vectorized(db: BasketDatabase, itemset: Itemset) -> dict[int, int]:
+def _dispatch_recorder(metrics: "MetricsRegistry | None"):
+    """A ``record(path, n=1)`` closure onto ``kernel_dispatch`` counters.
+
+    Returns a shared no-op when metrics are absent so the dispatch loop
+    stays unconditional.  Also stamps the ``numpy_present`` gauge, the
+    run report's "which environment actually ran" signal.
+    """
+    if metrics is None:
+        return _NO_DISPATCH
+    metrics.gauge("numpy_present").set(1.0 if HAS_NUMPY else 0.0)
+
+    def record(path: str, n: int = 1) -> None:
+        metrics.counter("kernel_dispatch", path=path).inc(n)
+
+    return record
+
+
+def _NO_DISPATCH(path: str, n: int = 1) -> None:
+    return None
+
+
+def count_cells_vectorized(
+    db: BasketDatabase,
+    itemset: Itemset,
+    metrics: "MetricsRegistry | None" = None,
+) -> dict[int, int]:
     """Exact sparse cell counts for one itemset via the vectorized kernels."""
-    return count_cells_batch(db, [itemset])[0]
+    return count_cells_batch(db, [itemset], metrics=metrics)[0]
 
 
 def count_tables_vectorized(
-    db: BasketDatabase, itemsets: Iterable[Itemset]
+    db: BasketDatabase,
+    itemsets: Iterable[Itemset],
+    metrics: "MetricsRegistry | None" = None,
 ) -> dict[Itemset, ContingencyTable]:
     """Contingency tables for a batch of itemsets via the vectorized kernels.
 
@@ -126,11 +172,15 @@ def count_tables_vectorized(
     :func:`repro.core.contingency.count_tables_single_pass`.  Tables are
     assembled straight from the sweep's cell columns (marginals come
     from the index's item counts), skipping the intermediate dict pass
-    the shard wire format needs.
+    the shard wire format needs.  ``metrics`` records per-itemset
+    ``kernel_dispatch`` counters exactly as :func:`count_cells_batch`
+    does.
     """
     itemsets = list(itemsets)
     n = db.n_baskets
+    dispatch = _dispatch_recorder(metrics)
     if not HAS_NUMPY:
+        dispatch("fallback", len(itemsets))
         return {
             itemset: ContingencyTable.from_database(db, itemset)
             for itemset in itemsets
@@ -152,6 +202,7 @@ def count_tables_vectorized(
             other_group.append(itemset)
 
     if pair_group:
+        dispatch("gram", len(pair_group))
         both, only_a, only_b, neither, count_a, count_b = pair_cell_columns(
             index, [itemset.items for itemset in pair_group]
         )
@@ -178,6 +229,7 @@ def count_tables_vectorized(
                 itemset, cells, (float(ca), float(cb)), n
             )
     if triple_group:
+        dispatch("gram", len(triple_group))
         cell_columns, (n_a, n_b, n_c) = triple_cell_columns(
             index, [itemset.items for itemset in triple_group]
         )
@@ -193,7 +245,8 @@ def count_tables_vectorized(
                 itemset, cells, tuple(map(float, marginals)), n
             )
     if other_group:
-        for itemset, cells in zip(other_group, count_cells_batch(db, other_group)):
+        cell_batches = count_cells_batch(db, other_group, metrics=metrics)
+        for itemset, cells in zip(other_group, cell_batches):
             marginals = tuple(
                 float(index.counts[item]) for item in itemset.items
             )

@@ -1,0 +1,60 @@
+"""Observability (`repro.obs`): tracing, metrics, and run reports.
+
+The stdlib-only telemetry subsystem every layer records into:
+
+* :mod:`repro.obs.clock` — injectable time sources (``perf_counter`` in
+  production, :class:`FakeClock` for deterministic tests);
+* :mod:`repro.obs.tracer` — hierarchical spans with text/JSON/Chrome
+  trace-event exporters, plus a near-zero-overhead :class:`NullTracer`;
+* :mod:`repro.obs.metrics` — labeled counters, gauges and fixed-bucket
+  histograms with a sorted, byte-stable snapshot;
+* :mod:`repro.obs.telemetry` — the per-run bundle
+  (:class:`Telemetry`), its Table-5-style run report, and the exact
+  reconciliation against the miner's ``LevelStats``.
+
+Quickstart::
+
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.create()
+    result = mine_correlations(db, telemetry=telemetry)
+    print(telemetry.render_summary(result.level_stats))
+    open("trace.json", "w").write(telemetry.tracer.to_chrome_json())
+
+Everything here is import-safe without NumPy and adds nothing to the
+hot paths when the default ``NULL_TELEMETRY`` is in play — see
+``docs/observability.md`` for the naming conventions and the overhead
+guarantees.
+"""
+
+from repro.obs.clock import Clock, FakeClock, default_clock
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_SECONDS_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "FakeClock",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "default_clock",
+]

@@ -1,0 +1,63 @@
+"""Clocks for the observability layer.
+
+Every timing the tracer and metrics record flows through a *clock*: any
+zero-argument callable returning seconds as a float.  Production code
+uses :func:`time.perf_counter` (monotonic, high resolution, immune to
+wall-clock adjustments); tests inject a :class:`FakeClock` so two
+identical runs produce byte-identical trace and metrics exports — the
+determinism guarantee `tests/obs/test_determinism.py` enforces.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable
+
+__all__ = ["Clock", "FakeClock", "default_clock"]
+
+# A clock is just "() -> seconds"; perf_counter satisfies it directly.
+Clock = Callable[[], float]
+
+
+def default_clock() -> Clock:
+    """The production clock: :func:`time.perf_counter`."""
+    return perf_counter
+
+
+class FakeClock:
+    """A deterministic clock that advances a fixed step per reading.
+
+    Each call returns the current time and then advances it by ``tick``,
+    so the Nth reading of any run is identical across runs — spans get
+    reproducible, strictly increasing timestamps without ever touching
+    the real clock.  :meth:`advance` models explicit elapsed time.
+
+    >>> clock = FakeClock(start=10.0, tick=0.5)
+    >>> clock(), clock()
+    (10.0, 10.5)
+    >>> clock.advance(4.0)
+    >>> clock()
+    15.0
+    """
+
+    __slots__ = ("now", "tick")
+
+    def __init__(self, start: float = 0.0, tick: float = 0.001) -> None:
+        if tick < 0:
+            raise ValueError(f"tick must be >= 0, got {tick}")
+        self.now = float(start)
+        self.tick = float(tick)
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without producing a reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance backwards ({seconds})")
+        self.now += seconds
+
+    def __repr__(self) -> str:
+        return f"FakeClock(now={self.now}, tick={self.tick})"

@@ -1,0 +1,279 @@
+"""Metrics: labeled counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns every series of a run.  A *series* is a
+metric name plus a sorted label set — the Prometheus data model, scoped
+to one process::
+
+    registry.counter("candidates_pruned", reason="support").inc()
+    registry.counter("cache_events", kind="hit").inc()
+    registry.histogram("count_batch_seconds", mode="serial").observe(0.012)
+
+Accessors are get-or-create and O(1); hot paths hoist the returned
+instrument out of their loops and call ``inc``/``observe`` directly.
+Label values are stringified at creation so a series key is stable and
+serializable.
+
+:meth:`MetricsRegistry.snapshot` renders everything as one sorted,
+JSON-compatible dict keyed ``name{label="value",...}`` — byte-identical
+across identical runs, which the determinism suite relies on.
+
+:class:`NullMetrics` is the disabled twin: every accessor returns one
+shared no-op instrument, so un-instrumented code pays a method call and
+nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+# Log-ish spaced upper bounds for timing histograms, in seconds: wide
+# enough for a 10-minute batch, fine enough for a 100µs kernel call.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0, 600.0,
+)
+
+
+def _series_key(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-friendly serialization.
+
+    ``bounds`` are inclusive upper edges; observations beyond the last
+    edge land in the implicit ``+Inf`` bucket.  Per-bucket counts are
+    stored non-cumulatively and summed on demand.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS) -> None:
+        ordered = tuple(float(bound) for bound in bounds)
+        if not ordered or any(
+            upper <= lower for lower, upper in zip(ordered, ordered[1:])
+        ):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> dict[str, object]:
+        buckets = {f"le={bound:g}": count for bound, count in zip(self.bounds, self.counts)}
+        buckets["le=+Inf"] = self.counts[-1]
+        return {"buckets": buckets, "sum": self.sum, "count": self.count}
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
+
+
+class MetricsRegistry:
+    """All counters, gauges and histograms of one run, by labeled series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _series_key(name, {k: str(v) for k, v in labels.items()})
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _series_key(name, {k: str(v) for k, v in labels.items()})
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        key = _series_key(name, {k: str(v) for k, v in labels.items()})
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- reading --------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> int | float:
+        """The current value of a counter series; ``0`` if never touched."""
+        key = _series_key(name, {k: str(v) for k, v in labels.items()})
+        instrument = self._counters.get(key)
+        return instrument.value if instrument is not None else 0
+
+    def series(self, prefix: str = "") -> dict[str, object]:
+        """Flat ``series key -> value`` view (histograms as dicts)."""
+        merged: dict[str, object] = {}
+        for key in sorted(self._counters):
+            if key.startswith(prefix):
+                merged[key] = self._counters[key].value
+        for key in sorted(self._gauges):
+            if key.startswith(prefix):
+                merged[key] = self._gauges[key].value
+        for key in sorted(self._histograms):
+            if key.startswith(prefix):
+                merged[key] = self._histograms[key].to_dict()
+        return merged
+
+    def snapshot(self) -> dict[str, object]:
+        """Everything, grouped by kind, every level sorted."""
+        return {
+            "counters": {key: self._counters[key].value for key in sorted(self._counters)},
+            "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+            "histograms": {
+                key: self._histograms[key].to_dict() for key in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def render_text(self) -> str:
+        """A plain ``series value`` listing for terminals."""
+        lines: list[str] = []
+        for key in sorted(self._counters):
+            lines.append(f"{key} {self._counters[key].value}")
+        for key in sorted(self._gauges):
+            lines.append(f"{key} {self._gauges[key].value:g}")
+        for key in sorted(self._histograms):
+            histogram = self._histograms[key]
+            lines.append(
+                f"{key} count={histogram.count} sum={histogram.sum:.6f}s"
+            )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """One object standing in for every disabled counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    value = 0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> dict[str, object]:
+        return {}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """Disabled registry: every accessor returns the shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+        **labels: object,
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def counter_value(self, name: str, **labels: object) -> int:
+        return 0
+
+    def series(self, prefix: str = "") -> dict[str, object]:
+        return {}
+
+    def snapshot(self) -> dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
+
+    def render_text(self) -> str:
+        return ""
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,249 @@
+"""Hierarchical tracing: nestable timed spans with pluggable exporters.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("mine.level", level=3) as level_span:
+        with tracer.span("mine.level.count", backend="bitmap"):
+            ...
+    level_span.duration  # seconds, final once the block exits
+
+Spans nest by runtime containment: a span entered while another is open
+becomes its child, so the finished trace is a forest mirroring the call
+structure.  Timestamps come from the tracer's injectable clock
+(:mod:`repro.obs.clock`), which makes traces deterministic under a
+:class:`~repro.obs.clock.FakeClock`.
+
+Three exporters cover the consumption paths:
+
+* :meth:`Tracer.render_text` — an indented tree for terminals;
+* :meth:`Tracer.to_json` — a stable, sorted JSON document for tooling
+  and the determinism tests;
+* :meth:`Tracer.to_chrome_trace` — the Trace Event format that
+  ``chrome://tracing`` / Perfetto load directly.
+
+:class:`NullTracer` is the disabled implementation: ``span()`` returns
+one shared, pre-built no-op span, so an un-instrumented run pays one
+attribute lookup and one method call per span site and allocates
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.clock import Clock
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed, attributed region of execution (its own context manager)."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+
+    def __init__(self, name: str, attributes: dict[str, object], tracer: "Tracer") -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start: float | None = None
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds; ``0.0`` until the span has finished."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach attributes discovered mid-span (e.g. batch sizes)."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._exit(self)
+
+    def to_dict(self) -> dict[str, object]:
+        """Nested JSON-compatible representation (children inline)."""
+        return {
+            "name": self.name,
+            "attributes": {key: self.attributes[key] for key in sorted(self.attributes)},
+            "start": self.start,
+            "duration": self.duration,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, duration={self.duration:.6f}, children={len(self.children)})"
+
+
+class Tracer:
+    """Collects a forest of spans using one (injectable) clock.
+
+    Not thread-safe by design: one tracer belongs to one mining run on
+    one thread (worker processes get their own telemetry or none — see
+    ``docs/observability.md``).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: "Clock | None" = None) -> None:
+        if clock is None:
+            from repro.obs.clock import default_clock
+
+            clock = default_clock()
+        self._clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """A new span; enter it with ``with`` to start the timer."""
+        return Span(name, attributes, self)
+
+    def _enter(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        span.start = self._clock()
+
+    def _exit(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate exits out of order (a span leaked across a generator):
+        # unwind to the matching frame rather than corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    def clear(self) -> None:
+        """Drop every recorded span (open spans included)."""
+        self.roots.clear()
+        self._stack.clear()
+
+    # -- exporters ------------------------------------------------------------
+
+    def _finished_roots(self) -> list[Span]:
+        return [span for span in self.roots if span.finished]
+
+    def render_text(self) -> str:
+        """The span forest as an indented tree with durations."""
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            attrs = " ".join(
+                f"{key}={span.attributes[key]}" for key in sorted(span.attributes)
+            )
+            suffix = f" ({attrs})" if attrs else ""
+            lines.append(
+                f"{'  ' * depth}{span.name}{suffix} {span.duration * 1e3:.3f}ms"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in self._finished_roots():
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"spans": [span.to_dict() for span in self._finished_roots()]}
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Stable JSON: keys sorted, so identical runs serialize identically."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def to_chrome_trace(self) -> dict[str, object]:
+        """The Chrome Trace Event document (complete 'X' events, µs units)."""
+        events: list[dict[str, object]] = []
+
+        def walk(span: Span) -> None:
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": round((span.start or 0.0) * 1e6, 3),
+                    "dur": round(span.duration * 1e6, 3),
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {key: span.attributes[key] for key in sorted(span.attributes)},
+                }
+            )
+            for child in span.children:
+                walk(child)
+
+        for root in self._finished_roots():
+            walk(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True, indent=indent)
+
+
+class _NullSpan:
+    """The shared do-nothing span the disabled tracer hands out."""
+
+    __slots__ = ()
+
+    name = ""
+    attributes: dict[str, object] = {}
+    start = None
+    end = None
+    children: list[Span] = []
+    duration = 0.0
+    finished = False
+
+    def annotate(self, **attributes: object) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same pre-built no-op."""
+
+    enabled = False
+    roots: list[Span] = []
+
+    def span(self, name: str, **attributes: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def clear(self) -> None:
+        pass
+
+    def render_text(self) -> str:
+        return ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {"spans": []}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def to_chrome_trace(self) -> dict[str, object]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True, indent=indent)
+
+
+NULL_TRACER = NullTracer()

@@ -7,14 +7,24 @@ ordered-dict LRU keyed by :class:`~repro.core.itemsets.Itemset` — safe
 because both the key and the cached :class:`ContingencyTable` are
 immutable, and the engine is bound to a single (immutable) database, so
 entries never go stale within an engine's lifetime.
+
+The cache is fully observable: :attr:`hits`, :attr:`misses` and
+:attr:`evictions` are read-only counters, :meth:`stats` snapshots them
+as a dict, and an optional metrics registry (:mod:`repro.obs.metrics`)
+receives one ``cache_events{kind="hit"|"miss"|"evict"}`` increment per
+event so cache behaviour shows up in mining run reports.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.core.contingency import ContingencyTable
 from repro.core.itemsets import Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["TableCache"]
 
@@ -24,7 +34,9 @@ class TableCache:
 
     ``capacity <= 0`` disables caching entirely (every lookup misses and
     :meth:`put` is a no-op), which keeps the engine's call sites free of
-    conditionals.
+    conditionals.  ``metrics`` (optional) is a
+    :class:`~repro.obs.metrics.MetricsRegistry` that receives
+    ``cache_events`` counter increments alongside the local counters.
 
     >>> from repro.core.itemsets import Itemset
     >>> cache = TableCache(capacity=2)
@@ -34,16 +46,52 @@ class TableCache:
     True
     >>> cache.hits, cache.misses
     (1, 0)
+    >>> cache.stats()
+    {'capacity': 2, 'size': 1, 'hits': 1, 'misses': 0, 'evictions': 0}
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "_hits", "_misses", "_evictions", "_entries", "_events")
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, metrics: "MetricsRegistry | None" = None) -> None:
+        if metrics is None:
+            from repro.obs.metrics import NULL_METRICS
+
+            metrics = NULL_METRICS
         self.capacity = capacity
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
         self._entries: OrderedDict[Itemset, ContingencyTable] = OrderedDict()
+        self._events = {
+            "hit": metrics.counter("cache_events", kind="hit"),
+            "miss": metrics.counter("cache_events", kind="miss"),
+            "evict": metrics.counter("cache_events", kind="evict"),
+        }
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found nothing (including all lookups at capacity 0)."""
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to respect the capacity bound."""
+        return self._evictions
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot plus the current occupancy."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -55,10 +103,12 @@ class TableCache:
         """Return the cached table (refreshing recency) or ``None``."""
         table = self._entries.get(itemset)
         if table is None:
-            self.misses += 1
+            self._misses += 1
+            self._events["miss"].inc()
             return None
         self._entries.move_to_end(itemset)
-        self.hits += 1
+        self._hits += 1
+        self._events["hit"].inc()
         return table
 
     def put(self, itemset: Itemset, table: ContingencyTable) -> None:
@@ -70,7 +120,8 @@ class TableCache:
         self._entries[itemset] = table
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions += 1
+            self._events["evict"].inc()
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
@@ -79,5 +130,5 @@ class TableCache:
     def __repr__(self) -> str:
         return (
             f"TableCache(capacity={self.capacity}, size={len(self._entries)}, "
-            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+            f"hits={self._hits}, misses={self._misses}, evictions={self._evictions})"
         )

@@ -40,6 +40,7 @@ from collections.abc import Iterable, Sequence
 from repro.core.contingency import ContingencyTable, count_cells
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.parallel.cache import TableCache
 from repro.parallel.sharding import (
     Shard,
@@ -95,6 +96,13 @@ class ParallelCountingEngine:
             vectorized-when-NumPy-imports.  This is how the parallel
             and vectorized backends compose; every kernel produces
             bit-identical tables.
+        telemetry: a :class:`repro.obs.Telemetry` bundle; when given,
+            the engine records per-batch spans and timing histograms
+            (``count_batch_seconds{mode=...}``, per-shard
+            ``shard_task_seconds``), worker-pool event counters
+            (``pool_events{kind=...}``), and cache hit/miss/evict
+            counters.  Defaults to the no-op bundle.  Only the parent
+            process records — worker processes run un-instrumented.
 
     >>> db = BasketDatabase.from_baskets([["a", "b"]] * 3 + [["a"]] * 2 + [[]] * 5)
     >>> with ParallelCountingEngine(db, workers=1) as engine:
@@ -113,6 +121,7 @@ class ParallelCountingEngine:
         fallback_serial: bool = True,
         mp_context=None,
         kernel: str = "auto",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if workers is None:
             workers = multiprocessing.cpu_count()
@@ -129,7 +138,8 @@ class ParallelCountingEngine:
         self.kernel = kernel
         self.task_timeout = task_timeout
         self.fallback_serial = fallback_serial
-        self.cache = TableCache(cache_size)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.cache = TableCache(cache_size, metrics=self.telemetry.metrics)
         self._mp_context = mp_context
         self._shards: list[Shard] | None = None
         self._n_shards = n_shards if n_shards is not None else workers
@@ -174,6 +184,7 @@ class ParallelCountingEngine:
             )
         except Exception as error:  # pool creation can fail in sandboxes
             logger.warning("worker pool unavailable (%s); using serial counting", error)
+            self.telemetry.metrics.counter("pool_events", kind="pool_unavailable").inc()
             self._pool_broken = True
             self._pool = None
         return self._pool
@@ -243,27 +254,43 @@ class ParallelCountingEngine:
 
     def _count_batch(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
         if self.workers == 1 or self._pool_broken or self.degraded:
-            return self._count_serial(itemsets)
+            return self._timed_batch("serial", self._count_serial, itemsets)
         try:
-            return self._count_parallel(itemsets)
+            return self._timed_batch("parallel", self._count_parallel, itemsets)
         except CountingError as error:
             if not self.fallback_serial:
                 raise
             logger.warning("parallel counting failed (%s); falling back to serial", error)
             self.fallbacks += 1
+            self.telemetry.metrics.counter("pool_events", kind="fallback").inc()
             self.degraded = True
-            return self._count_serial(itemsets)
+            return self._timed_batch("serial", self._count_serial, itemsets)
+
+    def _timed_batch(self, mode, count, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
+        """Run one counting batch under a span + duration histogram."""
+        with self.telemetry.tracer.span(
+            "count.batch", mode=mode, n_itemsets=len(itemsets)
+        ) as batch_span:
+            tables = count(itemsets)
+        self.telemetry.metrics.histogram("count_batch_seconds", mode=mode).observe(
+            batch_span.duration
+        )
+        return tables
 
     def _count_serial(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
         """In-process counting over the full database (the reference path)."""
         self.serial_batches += 1
+        self.telemetry.metrics.counter("pool_events", kind="serial_batch").inc()
         n = self.db.n_baskets
         if resolve_kernel(self.kernel) == "vectorized":
             from repro.kernels import count_cells_batch
 
+            cell_batches = count_cells_batch(
+                self.db, itemsets, metrics=self.telemetry.metrics
+            )
             return [
                 ContingencyTable.from_cell_counts(itemset, cells, n)
-                for itemset, cells in zip(itemsets, count_cells_batch(self.db, itemsets))
+                for itemset, cells in zip(itemsets, cell_batches)
             ]
         return [
             ContingencyTable.from_cell_counts(itemset, count_cells(self.db, itemset), n)
@@ -275,27 +302,37 @@ class ParallelCountingEngine:
         pool = self._ensure_pool()
         if pool is None:
             raise CountingError("worker pool could not be created")
+        metrics = self.telemetry.metrics
+        clock = self.telemetry.clock
         candidates = [itemset.items for itemset in itemsets]
         deadline = (
             time.monotonic() + self.task_timeout if self.task_timeout is not None else None
         )
         try:
+            dispatched_at = clock()
             pending = [
                 pool.apply_async(_count_task, (shard.index, candidates))
                 for shard in self.shards
             ]
             self.tasks_dispatched += len(pending)
+            metrics.counter("pool_events", kind="task_dispatched").inc(len(pending))
             per_shard: list[list[dict[int, int]]] = []
             for shard, result in zip(self.shards, pending):
                 if deadline is None:
                     per_shard.append(result.get())
-                    continue
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise multiprocessing.TimeoutError
-                per_shard.append(result.get(timeout=remaining))
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise multiprocessing.TimeoutError
+                    per_shard.append(result.get(timeout=remaining))
+                # Workers run un-instrumented, so per-shard time is the
+                # parent-side dispatch-to-arrival wait (queueing included).
+                metrics.histogram("shard_task_seconds", shard=shard.index).observe(
+                    clock() - dispatched_at
+                )
         except multiprocessing.TimeoutError:
             self._discard_pool()
+            metrics.counter("pool_events", kind="failure").inc()
             raise CountingError(
                 f"counting batch exceeded task_timeout={self.task_timeout}s "
                 f"(shard hung or pool starved)"
@@ -304,8 +341,10 @@ class ParallelCountingEngine:
             raise
         except Exception as error:
             self._discard_pool()
+            metrics.counter("pool_events", kind="failure").inc()
             raise CountingError(f"worker failed while counting: {error}") from error
         self.parallel_batches += 1
+        metrics.counter("pool_events", kind="parallel_batch").inc()
         merged = merge_shard_counts(per_shard)
         n = self.db.n_baskets
         return [

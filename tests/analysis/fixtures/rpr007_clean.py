@@ -1,0 +1,25 @@
+"""Fixture: library output through logging / returned strings (RPR007)."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def mine_level(candidates):
+    logger.info("level started with %d candidates", len(candidates))
+    results = []
+    for candidate in candidates:
+        results.append(candidate)
+    logger.debug("level finished")
+    return results
+
+
+def report(stats):
+    return "\n".join(str(line) for line in stats)
+
+
+def shadowed_print_is_fine(print):
+    # A locally bound callable named print is not the builtin write to
+    # stdout; the rule only pattern-matches the name, and this call is
+    # the caller's responsibility.
+    return [print]

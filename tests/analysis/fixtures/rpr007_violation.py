@@ -1,0 +1,15 @@
+"""Fixture: library code writing straight to stdout (RPR007)."""
+
+
+def mine_level(candidates):
+    print(f"level started with {len(candidates)} candidates")
+    results = []
+    for candidate in candidates:
+        results.append(candidate)
+    print("level finished")
+    return results
+
+
+def report(stats):
+    for line in stats:
+        print(line)

@@ -1,0 +1,43 @@
+"""The injectable clocks behind every telemetry timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FakeClock, default_clock
+
+
+class TestFakeClock:
+    def test_each_reading_advances_by_one_tick(self):
+        clock = FakeClock(start=5.0, tick=0.25)
+        assert [clock(), clock(), clock()] == [5.0, 5.25, 5.5]
+
+    def test_advance_moves_time_without_a_reading(self):
+        clock = FakeClock(start=0.0, tick=0.001)
+        clock.advance(2.0)
+        assert clock() == 2.0
+        assert clock() == 2.001
+
+    def test_zero_tick_freezes_time(self):
+        clock = FakeClock(start=1.0, tick=0.0)
+        assert clock() == clock() == 1.0
+
+    def test_identical_configs_produce_identical_sequences(self):
+        first = FakeClock(start=0.0, tick=0.001)
+        second = FakeClock(start=0.0, tick=0.001)
+        assert [first() for _ in range(100)] == [second() for _ in range(100)]
+
+    def test_negative_tick_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock(tick=-0.001)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().advance(-1.0)
+
+
+def test_default_clock_is_monotone_nondecreasing():
+    clock = default_clock()
+    readings = [clock() for _ in range(5)]
+    assert all(isinstance(reading, float) for reading in readings)
+    assert readings == sorted(readings)

@@ -1,0 +1,149 @@
+"""Metrics registry: labeled series, instruments, and stable snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.obs.metrics import _NULL_INSTRUMENT, _series_key
+
+
+class TestSeriesKeys:
+    def test_no_labels_is_the_bare_name(self):
+        assert _series_key("candidates", {}) == "candidates"
+
+    def test_labels_are_sorted_and_quoted(self):
+        key = _series_key("cache_events", {"kind": "hit", "shard": "3"})
+        assert key == 'cache_events{kind="hit",shard="3"}'
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", a=1, b=2) is registry.counter("x", b=2, a=1)
+
+
+class TestCounter:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("candidates_pruned", reason="support")
+        counter.inc()
+        counter.inc(5)
+        assert registry.counter("candidates_pruned", reason="support").value == 6
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("candidates_pruned", reason="support").inc(3)
+        registry.counter("candidates_pruned", reason="chi2").inc(1)
+        assert registry.counter_value("candidates_pruned", reason="support") == 3
+        assert registry.counter_value("candidates_pruned", reason="chi2") == 1
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_untouched_series_reads_zero(self):
+        assert MetricsRegistry().counter_value("never", level=9) == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("numpy_present")
+        gauge.set(1.0)
+        gauge.inc(2.0)
+        gauge.dec(0.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_bucketing_uses_inclusive_upper_edges(self):
+        histogram = Histogram(bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.1, 0.5, 1.0, 2.0, 100.0):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert data["buckets"] == {
+            "le=0.1": 2,  # 0.05 and the exactly-on-edge 0.1
+            "le=1": 2,  # 0.5 and 1.0
+            "le=10": 1,  # 2.0
+            "le=+Inf": 1,  # 100.0
+        }
+        assert data["count"] == 6
+        assert data["sum"] == pytest.approx(103.65)
+
+    def test_default_buckets_cover_kernel_calls_to_long_batches(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] == pytest.approx(0.0001)
+        assert DEFAULT_SECONDS_BUCKETS[-1] == pytest.approx(600.0)
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+
+    def test_non_increasing_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+
+class TestRegistryViews:
+    def populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("cache_events", kind="hit").inc(4)
+        registry.counter("cache_events", kind="miss").inc(2)
+        registry.counter("kernel_dispatch", path="gram").inc()
+        registry.gauge("numpy_present").set(1)
+        registry.histogram("count_batch_seconds", mode="serial").observe(0.01)
+        return registry
+
+    def test_series_filters_by_prefix(self):
+        registry = self.populated()
+        cache = registry.series("cache_events")
+        assert cache == {
+            'cache_events{kind="hit"}': 4,
+            'cache_events{kind="miss"}': 2,
+        }
+        assert list(cache) == sorted(cache)
+
+    def test_snapshot_groups_by_kind_and_sorts_every_level(self):
+        snapshot = self.populated().snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+        histogram = snapshot["histograms"]['count_batch_seconds{mode="serial"}']
+        assert histogram["count"] == 1
+        assert histogram["buckets"]["le=+Inf"] == 0
+
+    def test_to_json_round_trips_and_is_stable(self):
+        registry = self.populated()
+        assert registry.to_json() == registry.to_json()
+        assert json.loads(registry.to_json()) == registry.snapshot()
+
+    def test_render_text_lists_every_series(self):
+        text = self.populated().render_text()
+        assert 'cache_events{kind="hit"} 4' in text
+        assert "numpy_present 1" in text
+        assert 'count_batch_seconds{mode="serial"} count=1' in text
+
+
+class TestNullMetrics:
+    def test_every_accessor_returns_the_shared_noop(self):
+        assert NULL_METRICS.enabled is False
+        counter = NULL_METRICS.counter("x", label="y")
+        assert counter is NULL_METRICS.histogram("z") is _NULL_INSTRUMENT
+        counter.inc(100)
+        counter.observe(1.0)
+        counter.set(5.0)
+        assert counter.value == 0
+
+    def test_disabled_views_are_empty(self):
+        assert NULL_METRICS.counter_value("anything") == 0
+        assert NULL_METRICS.series() == {}
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        assert NULL_METRICS.render_text() == ""

@@ -1,0 +1,129 @@
+"""The telemetry bundle: reconciliation, run report, and the summary."""
+
+from __future__ import annotations
+
+from repro.algorithms.chi2support import LevelStats
+from repro.obs import FakeClock, NULL_TELEMETRY, Telemetry
+
+
+def stats_row(level=2, candidates=10, discarded=4, significant=2, not_significant=4):
+    return LevelStats(
+        level=level,
+        lattice_itemsets=100,
+        candidates=candidates,
+        discarded=discarded,
+        significant=significant,
+        not_significant=not_significant,
+        wall_seconds=0.5,
+        counting_seconds=0.2,
+    )
+
+
+def record_level(telemetry: Telemetry, stats: LevelStats) -> None:
+    """Increment the counters exactly as the miner does per level."""
+    metrics = telemetry.metrics
+    metrics.counter("candidates", level=stats.level).inc(stats.candidates)
+    metrics.counter("candidates_pruned", level=stats.level, reason="support").inc(
+        stats.discarded
+    )
+    metrics.counter("candidates_pruned", level=stats.level, reason="chi2").inc(
+        stats.significant
+    )
+    metrics.counter("itemsets", level=stats.level, kind="significant").inc(
+        stats.significant
+    )
+    metrics.counter("itemsets", level=stats.level, kind="not_significant").inc(
+        stats.not_significant
+    )
+
+
+class TestConstruction:
+    def test_create_is_enabled_with_live_halves(self):
+        telemetry = Telemetry.create(clock=FakeClock())
+        assert telemetry.enabled
+        assert telemetry.tracer.enabled
+        assert telemetry.metrics.enabled
+
+    def test_disabled_is_the_shared_null_bundle(self):
+        assert Telemetry.disabled() is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+        assert not NULL_TELEMETRY.tracer.enabled
+        assert not NULL_TELEMETRY.metrics.enabled
+
+
+class TestReconcile:
+    def test_matching_counters_reconcile_exactly(self):
+        telemetry = Telemetry.create(clock=FakeClock())
+        rows = [stats_row(level=2), stats_row(level=3, candidates=6, discarded=6,
+                                              significant=0, not_significant=0)]
+        for row in rows:
+            record_level(telemetry, row)
+        assert telemetry.reconcile(rows) == []
+
+    def test_every_drifted_counter_is_named(self):
+        telemetry = Telemetry.create(clock=FakeClock())
+        row = stats_row(level=2)
+        record_level(telemetry, row)
+        telemetry.metrics.counter("candidates", level=2).inc()  # drift by one
+        telemetry.metrics.counter("itemsets", level=2, kind="significant").inc(3)
+        mismatches = telemetry.reconcile([row])
+        assert len(mismatches) == 2
+        assert any("candidates{level=2} = 11" in m for m in mismatches)
+        assert any("LevelStats.candidates = 10" in m for m in mismatches)
+        assert any("kind=significant" in m for m in mismatches)
+
+    def test_disabled_telemetry_reconciles_vacuously(self):
+        assert NULL_TELEMETRY.reconcile([stats_row()]) == []
+
+
+class TestRunReport:
+    def build(self):
+        telemetry = Telemetry.create(clock=FakeClock())
+        rows = [stats_row(level=2), stats_row(level=3, candidates=4, discarded=2,
+                                              significant=1, not_significant=1)]
+        for row in rows:
+            record_level(telemetry, row)
+        telemetry.metrics.counter("cache_events", kind="hit").inc(7)
+        telemetry.metrics.counter("kernel_dispatch", path="gram").inc(2)
+        telemetry.metrics.counter("pool_events", kind="serial_batch").inc()
+        return telemetry, rows
+
+    def test_report_joins_table5_with_timings_and_rollups(self):
+        telemetry, rows = self.build()
+        report = telemetry.run_report(rows)
+        assert report["enabled"] is True
+        assert [row["level"] for row in report["levels"]] == [2, 3]
+        assert report["levels"][0]["wall_seconds"] == 0.5
+        assert report["levels"][0]["counting_seconds"] == 0.2
+        assert report["totals"]["candidates"] == 14
+        assert report["totals"]["significant"] == 3
+        assert report["totals"]["wall_seconds"] == 1.0
+        assert report["reconciliation"] == {"agreed": True, "mismatches": []}
+        assert report["cache"] == {'cache_events{kind="hit"}': 7}
+        assert report["kernel_dispatch"] == {'kernel_dispatch{path="gram"}': 2}
+        assert report["pool"] == {'pool_events{kind="serial_batch"}': 1}
+
+    def test_report_surfaces_mismatches(self):
+        telemetry, rows = self.build()
+        telemetry.metrics.counter("candidates", level=2).inc(99)
+        report = telemetry.run_report(rows)
+        assert report["reconciliation"]["agreed"] is False
+        assert report["reconciliation"]["mismatches"]
+
+    def test_summary_renders_the_table_and_the_verdict(self):
+        telemetry, rows = self.build()
+        summary = telemetry.render_summary(rows)
+        assert "telemetry run report" in summary
+        assert "|CAND|" in summary and "|NOTSIG|" in summary
+        assert "reconciliation: metrics agree with LevelStats" in summary
+        assert "cache:" in summary and "kernel dispatch:" in summary
+
+    def test_summary_flags_mismatch_loudly(self):
+        telemetry, rows = self.build()
+        telemetry.metrics.counter("candidates", level=3).inc(1)
+        summary = telemetry.render_summary(rows)
+        assert "MISMATCH" in summary
+
+    def test_disabled_summary_says_so(self):
+        summary = NULL_TELEMETRY.render_summary([stats_row()])
+        assert "telemetry disabled" in summary

@@ -1,0 +1,145 @@
+"""Hierarchical tracer: nesting, timing, exporters, and the null twin."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import FakeClock, NULL_TRACER, NullTracer, Tracer
+from repro.obs.tracer import _NULL_SPAN
+
+
+def make_tracer(**kwargs) -> Tracer:
+    return Tracer(clock=FakeClock(**kwargs))
+
+
+class TestNesting:
+    def test_runtime_containment_builds_the_forest(self):
+        tracer = make_tracer()
+        with tracer.span("mine"):
+            with tracer.span("mine.level", level=2):
+                with tracer.span("mine.level.count"):
+                    pass
+            with tracer.span("mine.level", level=3):
+                pass
+        with tracer.span("export"):
+            pass
+
+        assert [root.name for root in tracer.roots] == ["mine", "export"]
+        mine = tracer.roots[0]
+        assert [child.name for child in mine.children] == ["mine.level", "mine.level"]
+        assert [child.name for child in mine.children[0].children] == ["mine.level.count"]
+        assert mine.children[1].attributes == {"level": 3}
+
+    def test_duration_comes_from_the_injected_clock(self):
+        tracer = Tracer(clock=FakeClock(start=10.0, tick=0.5))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        # Readings: outer.start=10.0, inner.start=10.5, inner.end=11.0,
+        # outer.end=11.5 — one tick per clock call, no real time involved.
+        assert inner.duration == 0.5
+        assert outer.duration == 1.5
+
+    def test_duration_is_zero_until_finished(self):
+        tracer = make_tracer()
+        span = tracer.span("pending")
+        assert span.duration == 0.0
+        assert not span.finished
+        with span:
+            assert span.duration == 0.0
+        assert span.finished
+        assert span.duration > 0.0
+
+    def test_annotate_merges_attributes_mid_span(self):
+        tracer = make_tracer()
+        with tracer.span("count", backend="bitmap") as span:
+            span.annotate(candidates=12)
+        assert span.attributes == {"backend": "bitmap", "candidates": 12}
+
+    def test_out_of_order_exit_unwinds_to_the_matching_frame(self):
+        tracer = make_tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # leaked inner; exit outer anyway
+        assert tracer._stack == []
+        with tracer.span("next"):
+            pass
+        assert [root.name for root in tracer.roots] == ["outer", "next"]
+
+    def test_clear_drops_everything(self):
+        tracer = make_tracer()
+        with tracer.span("run"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.to_dict() == {"spans": []}
+
+
+class TestExporters:
+    def test_render_text_indents_children_and_sorts_attributes(self):
+        tracer = make_tracer()
+        with tracer.span("mine", statistic="chi2", counting="bitmap"):
+            with tracer.span("mine.level", level=2):
+                pass
+        text = tracer.render_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("mine (counting=bitmap statistic=chi2)")
+        assert lines[1].startswith("  mine.level (level=2)")
+        assert all(line.endswith("ms") for line in lines)
+
+    def test_to_dict_excludes_unfinished_roots(self):
+        tracer = make_tracer()
+        with tracer.span("done"):
+            pass
+        tracer.span("never_entered")
+        open_span = tracer.span("still_open")
+        open_span.__enter__()
+        names = [span["name"] for span in tracer.to_dict()["spans"]]
+        assert names == ["done"]
+
+    def test_to_json_is_stable_and_parseable(self):
+        tracer = make_tracer()
+        with tracer.span("mine", b=2, a=1):
+            pass
+        document = json.loads(tracer.to_json())
+        span = document["spans"][0]
+        assert span["attributes"] == {"a": 1, "b": 2}
+        assert tracer.to_json() == tracer.to_json()
+
+    def test_chrome_trace_emits_complete_events_in_microseconds(self):
+        tracer = Tracer(clock=FakeClock(start=1.0, tick=0.002))
+        with tracer.span("mine"):
+            with tracer.span("mine.level", level=2):
+                pass
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert [event["name"] for event in events] == ["mine", "mine.level"]
+        assert all(event["ph"] == "X" for event in events)
+        assert events[0]["ts"] == 1.0 * 1e6
+        assert events[1]["dur"] == 0.002 * 1e6
+        assert events[1]["args"] == {"level": 2}
+        json.loads(tracer.to_chrome_json())
+
+
+class TestNullTracer:
+    def test_span_returns_the_one_shared_noop(self):
+        tracer = NullTracer()
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is second is _NULL_SPAN
+        with first as span:
+            span.annotate(ignored=True)
+        assert span.duration == 0.0
+        assert span.attributes == {}
+
+    def test_disabled_exports_are_empty_but_well_formed(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.render_text() == ""
+        assert json.loads(NULL_TRACER.to_json()) == {"spans": []}
+        assert json.loads(NULL_TRACER.to_chrome_json()) == {
+            "displayTimeUnit": "ms",
+            "traceEvents": [],
+        }

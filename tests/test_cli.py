@@ -114,6 +114,80 @@ class TestMineCommand:
         assert code == 1
 
 
+class TestTelemetryFlags:
+    MINE = ["mine", "--support-count", "5", "--support-fraction", "0.3"]
+
+    def test_telemetry_reports_on_stderr_only(self, basket_file, capsys):
+        code = main(self.MINE + ["--input", basket_file, "--telemetry"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "telemetry run report" in captured.err
+        assert "metrics agree with LevelStats" in captured.err
+        assert "telemetry run report" not in captured.out
+        assert "bread butter" in captured.out
+
+    def test_metrics_out_writes_snapshot_and_run_report(
+        self, basket_file, tmp_path, capsys
+    ):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            self.MINE + ["--input", basket_file, "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        payload = json.loads(metrics_path.read_text())
+        assert set(payload) == {"metrics", "run_report"}
+        counters = payload["metrics"]["counters"]
+        assert counters['candidates{level="2"}'] > 0
+        report = payload["run_report"]
+        assert report["reconciliation"] == {"agreed": True, "mismatches": []}
+        assert report["levels"][0]["wall_seconds"] > 0.0
+        # --metrics-out implies --telemetry: the summary lands on stderr.
+        assert "telemetry run report" in capsys.readouterr().err
+
+    def test_trace_out_writes_chrome_trace(self, basket_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            self.MINE + ["--input", basket_file, "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert {"mine", "mine.level", "mine.level.count"} <= names
+        assert all(event["ph"] == "X" for event in trace["traceEvents"])
+
+    def test_json_stdout_stays_machine_readable_with_telemetry(
+        self, basket_file, tmp_path, capsys
+    ):
+        import json
+
+        code = main(
+            self.MINE
+            + [
+                "--input",
+                basket_file,
+                "--json",
+                "--metrics-out",
+                str(tmp_path / "m.json"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)  # no stderr leakage into stdout
+        assert "rules" in payload
+
+    def test_log_level_flag(self, basket_file, capsys):
+        code = main(
+            ["--log-level", "INFO"] + self.MINE + ["--input", basket_file]
+        )
+        assert code == 0
+        with pytest.raises(SystemExit):
+            main(["--log-level", "LOUD"] + self.MINE + ["--input", basket_file])
+
+
 class TestAprioriCommand:
     def test_prints_rules(self, basket_file, capsys):
         code = main(

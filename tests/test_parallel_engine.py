@@ -118,6 +118,42 @@ class TestTableCache:
         cache.clear()
         assert len(cache) == 0 and cache.hits == 1
 
+    def test_stats_snapshot(self):
+        cache = TableCache(capacity=2)
+        t01, t12, t23 = self._table(0, 1), self._table(1, 2), self._table(2, 3)
+        for table in (t01, t12, t23):  # third put evicts the LRU entry
+            cache.put(table.itemset, table)
+        cache.get(Itemset([2, 3]))
+        cache.get(Itemset([0, 1]))  # evicted -> miss
+        assert cache.stats() == {
+            "capacity": 2,
+            "size": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }
+
+    def test_metrics_mirror_local_counters(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = TableCache(capacity=1, metrics=metrics)
+        t01, t12 = self._table(0, 1), self._table(1, 2)
+        cache.put(t01.itemset, t01)
+        cache.put(t12.itemset, t12)  # evicts t01
+        cache.get(Itemset([1, 2]))  # hit
+        cache.get(Itemset([0, 1]))  # miss
+        assert metrics.counter_value("cache_events", kind="hit") == cache.hits == 1
+        assert metrics.counter_value("cache_events", kind="miss") == cache.misses == 1
+        assert (
+            metrics.counter_value("cache_events", kind="evict") == cache.evictions == 1
+        )
+
+    def test_counter_properties_are_read_only(self):
+        cache = TableCache(capacity=2)
+        with pytest.raises(AttributeError):
+            cache.hits = 5
+
 
 class TestEngine:
     def test_serial_matches_from_database(self):
