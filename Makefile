@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint lint-json bench bench-counting examples docs-check all
+.PHONY: install test test-fast test-all lint lint-json bench bench-counting bench-mine bench-mine-smoke examples docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -36,6 +36,15 @@ bench: bench-counting
 # census and Quest datasets; writes the machine-readable report.
 bench-counting:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_vectorized_counting.py --output BENCH_counting.json
+
+# End-to-end mine wall-time for every counting backend plus the FP-tree
+# top-K branch-and-bound; writes the machine-readable report.  The
+# smoke variant is the seconds-long CI gate (tiny Quest, no census).
+bench-mine:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --output BENCH_mine.json
+
+bench-mine-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --smoke --output BENCH_mine_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,260 @@
+"""End-to-end mine wall-time across every counting backend.
+
+Where ``bench_vectorized_counting.py`` times one level's table counting
+in isolation, this benchmark times the *whole* algorithm —
+``mine_correlations`` from seed pairs to the final border — once per
+backend, on the three workloads the paper evaluates:
+
+* ``census`` — the reconstructed 30 370-person census (needs NumPy for
+  the fixture synthesis; skipped without it),
+* ``quest``  — a scaled-down Quest basket world,
+* ``text``   — the news corpus after §5.2 preprocessing.
+
+Every backend must agree on the mined border exactly; the run fails if
+any disagrees with ``bitmap``.  A second section times the FP-tree
+top-K strongest-correlations mode (pruned vs unpruned) on a larger text
+workload and records the branch-and-bound prune counters.
+
+Two entry points:
+
+* ``python benchmarks/bench_mine.py --output BENCH_mine.json`` writes
+  the machine-readable report (the ``make bench-mine`` target; pass
+  ``--smoke`` for the seconds-long CI variant);
+* ``pytest benchmarks/bench_mine.py`` runs the same measurement as a
+  ``bench``-marked test asserting border agreement and a live prune.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.mining import mine_correlations
+from repro.data.corpusgen import NewsCorpusParameters, generate_news_corpus
+from repro.data.quest import QuestParameters, generate_quest
+from repro.data.text import TextPipeline
+from repro.fptree import FPTreePairEngine
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone mode needs no pytest
+    pytest = None
+
+try:
+    import numpy  # noqa: F401
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
+    HAS_NUMPY = False
+
+BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree")
+
+# Backends that need NumPy (directly, or via the census synthesis).
+NUMPY_BACKENDS = frozenset({"vectorized"})
+
+# Quest sized so the slowest backend (cube) still finishes in seconds.
+QUEST_PARAMS = dict(n_transactions=4_000, n_items=80, seed=1997)
+SMOKE_QUEST_PARAMS = dict(n_transactions=300, n_items=25, seed=1997)
+
+# Top-K section: a 600-document corpus kept at full vocabulary
+# (min_document_frequency=0) — the large-header regime where the
+# branch-and-bound earns its keep.
+TOPK_DOCUMENTS = 600
+SMOKE_TOPK_DOCUMENTS = 120
+TOPK_K = 10
+TOPK_MIN_COOCCURRENCE = 5
+
+
+def _datasets(smoke: bool) -> dict:
+    quest_params = SMOKE_QUEST_PARAMS if smoke else QUEST_PARAMS
+    datasets = {
+        "quest": generate_quest(QuestParameters(**quest_params)),
+        "text": TextPipeline(min_words=200, min_document_frequency=0.10).run(
+            generate_news_corpus()
+        ),
+    }
+    if HAS_NUMPY and not smoke:
+        from repro.data.census import synthesize_census
+
+        datasets["census"] = synthesize_census()
+    return datasets
+
+
+def _mine_args(name: str) -> dict:
+    if name == "census":
+        return dict(support_count=100, support_fraction=0.26, max_level=3)
+    if name == "quest":
+        return dict(support_count=5, support_fraction=0.3, max_level=3)
+    # Text: the dense co-occurrence structure makes level 3 explode
+    # (>100k significant triples); the paper's §5.2 experiment is about
+    # pairs, so the end-to-end timing stops there too.
+    return dict(support_count=5, support_fraction=0.3, max_level=2)
+
+
+def _bench_dataset(name: str, db) -> dict:
+    timings: dict[str, float] = {}
+    borders: dict[str, list] = {}
+    for backend in BACKENDS:
+        if backend in NUMPY_BACKENDS and not HAS_NUMPY:
+            continue
+        kwargs = _mine_args(name)
+        if backend == "parallel":
+            kwargs["workers"] = 2
+        start = time.perf_counter()
+        result = mine_correlations(
+            db, significance=0.95, counting=backend, **kwargs
+        )
+        timings[backend] = time.perf_counter() - start
+        borders[backend] = sorted(itemset.items for itemset in result.itemsets())
+
+    reference = borders["bitmap"]
+    for backend, border in borders.items():
+        assert border == reference, (
+            f"{backend} mined a different border than bitmap on {name}"
+        )
+
+    bitmap = timings["bitmap"]
+    return {
+        "n_baskets": db.n_baskets,
+        "n_items": db.n_items,
+        "n_significant": len(reference),
+        "mine_args": _mine_args(name),
+        "timings_s": {k: round(v, 6) for k, v in timings.items()},
+        "relative_to_bitmap": {
+            k: round(v / bitmap, 2) if bitmap else None for k, v in timings.items()
+        },
+        "borders_identical": True,
+    }
+
+
+def _bench_topk(smoke: bool) -> dict:
+    n_documents = SMOKE_TOPK_DOCUMENTS if smoke else TOPK_DOCUMENTS
+    db = TextPipeline(min_words=200, min_document_frequency=0.0).run(
+        generate_news_corpus(NewsCorpusParameters(n_documents=n_documents))
+    )
+    runs: dict[str, dict] = {}
+    for label, prune in (("pruned", True), ("unpruned", False)):
+        engine = FPTreePairEngine(db)
+        start = time.perf_counter()
+        result = engine.top_k(
+            TOPK_K, min_cooccurrence=TOPK_MIN_COOCCURRENCE, prune=prune
+        )
+        runs[label] = {
+            "wall_s": round(time.perf_counter() - start, 6),
+            "entries": [
+                {"items": list(e.itemset.items), "chi2": e.statistic}
+                for e in result.entries
+            ],
+            "stats": result.stats.to_dict(),
+        }
+    assert runs["pruned"]["entries"] == runs["unpruned"]["entries"], (
+        "branch-and-bound changed the top-K ranking"
+    )
+    return {
+        "n_baskets": db.n_baskets,
+        "n_items": db.n_items,
+        "k": TOPK_K,
+        "min_cooccurrence": TOPK_MIN_COOCCURRENCE,
+        "entries_identical": True,
+        "runs": {
+            label: {k: v for k, v in run.items() if k != "entries"}
+            for label, run in runs.items()
+        },
+    }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    return {
+        "benchmark": "end-to-end mine wall-time across counting backends",
+        "generated_by": "benchmarks/bench_mine.py",
+        "smoke": smoke,
+        "has_numpy": HAS_NUMPY,
+        "backends": [
+            b for b in BACKENDS if HAS_NUMPY or b not in NUMPY_BACKENDS
+        ],
+        "datasets": {
+            name: _bench_dataset(name, db) for name, db in _datasets(smoke).items()
+        },
+        "fptree_topk": _bench_topk(smoke),
+    }
+
+
+def _print_report(results: dict, out=sys.stdout) -> None:
+    for name, data in results["datasets"].items():
+        print(
+            f"\n{name}: {data['n_baskets']} baskets x {data['n_items']} items, "
+            f"{data['n_significant']} significant itemsets",
+            file=out,
+        )
+        for backend in results["backends"]:
+            seconds = data["timings_s"][backend]
+            relative = data["relative_to_bitmap"][backend]
+            print(
+                f"  {backend:<12} {seconds * 1e3:>9.1f}ms   "
+                f"{relative:>6.2f}x bitmap",
+                file=out,
+            )
+    topk = results["fptree_topk"]
+    print(
+        f"\nfptree top-{topk['k']} (s >= {topk['min_cooccurrence']}) on "
+        f"{topk['n_baskets']} x {topk['n_items']} text:",
+        file=out,
+    )
+    for label, run in topk["runs"].items():
+        stats = run["stats"]
+        print(
+            f"  {label:<9} {run['wall_s'] * 1e3:>9.1f}ms   "
+            f"{stats['subtrees_pruned']}/{stats['header_items']} subtrees pruned, "
+            f"{stats['pairs_pruned']}/{stats['pairs_discovered']} pairs pruned",
+            file=out,
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_mine.json",
+        help="path for the JSON report (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-long CI variant: tiny Quest, no census, small corpus",
+    )
+    args = parser.parse_args(argv)
+    results = run_benchmark(smoke=args.smoke)
+    _print_report(results)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+
+    pruned = results["fptree_topk"]["runs"]["pruned"]["stats"]
+    if pruned["subtrees_pruned"] == 0 and pruned["pairs_pruned"] == 0:
+        print(
+            "FAIL: the branch-and-bound pruned nothing on the text workload",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if pytest is not None:
+
+    @pytest.mark.bench
+    def test_mine_wall_time_and_topk_prune(report):
+        results = run_benchmark(smoke=True)
+        _print_report(results)
+        for data in results["datasets"].values():
+            assert data["borders_identical"]
+        topk = results["fptree_topk"]
+        assert topk["entries_identical"]
+        pruned = topk["runs"]["pruned"]["stats"]
+        assert pruned["pairs_pruned"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

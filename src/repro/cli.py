@@ -1,10 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows the paper's experiments chain
+The commands cover the workflows the paper's experiments chain
 together:
 
 * ``mine`` — run the chi2-support miner (Figure 1) over a basket file
   and print the significant itemsets with their evidence;
+* ``topk`` — rank the K strongest pair correlations with the FP-tree
+  branch-and-bound engine (:mod:`repro.fptree`);
 * ``apriori`` — run the support-confidence baseline and print the
   accepted association rules;
 * ``generate`` — materialise one of the paper's datasets (census /
@@ -82,9 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--statistic", choices=["chi2", "g"], default="chi2")
     mine.add_argument(
         "--counting",
-        choices=["bitmap", "single_pass", "cube", "vectorized", "parallel"],
+        choices=["bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree"],
         default="bitmap",
-        help="contingency-table counting backend (vectorized = NumPy batch sweeps)",
+        help=(
+            "contingency-table counting backend (vectorized = NumPy batch "
+            "sweeps, fptree = candidate-generation-free prefix-tree sweep)"
+        ),
     )
     mine.add_argument(
         "--workers",
@@ -118,6 +123,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the metrics snapshot + run report as JSON; implies --telemetry",
+    )
+
+    topk = commands.add_parser(
+        "topk", help="the K strongest pair correlations (FP-tree branch-and-bound)"
+    )
+    _add_input_arguments(topk)
+    topk.add_argument("--k", type=int, default=10, help="how many pairs to report")
+    topk.add_argument(
+        "--min-cooccurrence",
+        type=int,
+        default=1,
+        help="only rank pairs co-occurring at least this often (the search universe)",
+    )
+    topk.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable the branch-and-bound prune (same output, only slower)",
+    )
+    topk.add_argument(
+        "--json", action="store_true", help="emit the ranking as JSON instead of text"
+    )
+    topk.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record spans/metrics and print the sweep stats on stderr",
+    )
+    topk.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace-event JSON file; implies --telemetry",
+    )
+    topk.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the metrics snapshot as JSON; implies --telemetry",
     )
 
     baseline = commands.add_parser("apriori", help="support-confidence baseline")
@@ -189,6 +231,63 @@ def _command_mine(args: argparse.Namespace) -> int:
     print(render_level_stats(result.level_stats))
     ranked = sorted(result.rules, key=lambda r: -r.statistic)
     print(render_rules(ranked, db.vocabulary, limit=args.limit))
+    return 0
+
+
+def _command_topk(args: argparse.Namespace) -> int:
+    from repro.fptree import FPTreePairEngine
+
+    telemetry = None
+    if args.telemetry or args.trace_out or args.metrics_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create()
+
+    db = _load(args.input, args.numeric)
+    engine = FPTreePairEngine(db, telemetry=telemetry)
+    result = engine.top_k(
+        args.k, min_cooccurrence=args.min_cooccurrence, prune=not args.no_prune
+    )
+
+    if telemetry is not None:
+        import json
+
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(telemetry.tracer.to_chrome_json(indent=2))
+                handle.write("\n")
+        if args.metrics_out:
+            payload = {
+                "metrics": telemetry.metrics.snapshot(),
+                "sweep": result.stats.to_dict(),
+            }
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        stats = result.stats
+        print(
+            f"fptree: {stats.nodes} nodes over {stats.header_items} items; "
+            f"{stats.subtrees_pruned}/{stats.header_items} subtrees pruned, "
+            f"{stats.pairs_pruned}/{stats.pairs_discovered} pair evaluations pruned",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(result.serialize(db.vocabulary), end="")
+        return 0
+
+    print(
+        f"# {db.n_baskets} baskets, {db.n_items} items; "
+        f"top {args.k} pair correlations with co-occurrence >= {args.min_cooccurrence}"
+    )
+    for rank, entry in enumerate(result.entries, start=1):
+        names = " ".join(db.vocabulary.decode(entry.itemset))
+        print(
+            f"{rank:>3}. chi2={entry.statistic:<12.4f} "
+            f"cooccurrence={entry.cooccurrence:<6} {{{names}}}"
+        )
+    if not result.entries:
+        print("# no pair meets the co-occurrence floor")
     return 0
 
 
@@ -302,6 +401,7 @@ def _command_negative(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "mine": _command_mine,
+    "topk": _command_topk,
     "apriori": _command_apriori,
     "generate": _command_generate,
     "describe": _command_describe,

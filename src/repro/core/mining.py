@@ -78,9 +78,10 @@ def mine_correlations(
     The main entry point; see :class:`ChiSquaredSupportMiner` for the
     advanced knobs reachable through ``kwargs``.  ``counting`` selects
     the table-counting backend (``"bitmap"``, ``"single_pass"``,
-    ``"cube"``, the NumPy batch-sweep ``"vectorized"``, or the sharded
+    ``"cube"``, the NumPy batch-sweep ``"vectorized"``, the sharded
     multi-process ``"parallel"``, whose shards themselves run the
-    vectorized kernels when NumPy is available); ``workers`` and
+    vectorized kernels when NumPy is available, or the
+    candidate-generation-free FP-tree sweep ``"fptree"``); ``workers`` and
     ``cache_size`` configure the parallel engine and are ignored by the
     serial backends.
 

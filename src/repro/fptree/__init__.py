@@ -1,0 +1,29 @@
+"""FP-tree correlated-pair engine (He/Xu/Deng, arXiv cs/0411035).
+
+A prefix-tree encoding of the basket database from which every pair's
+contingency table is derived without candidate generation, plus a
+top-K strongest-correlations search with an upper-bound-driven
+branch-and-bound prune.  Wired into the level-wise miner as
+``counting="fptree"`` and into the CLI as the ``topk`` command.
+"""
+
+from repro.fptree.engine import (
+    FPTreePairEngine,
+    SweepStats,
+    TopKEntry,
+    TopKResult,
+    chi2_pair_upper_bound,
+    item_chi2_upper_bound,
+)
+from repro.fptree.tree import FPNode, FPTree
+
+__all__ = [
+    "FPNode",
+    "FPTree",
+    "FPTreePairEngine",
+    "SweepStats",
+    "TopKEntry",
+    "TopKResult",
+    "chi2_pair_upper_bound",
+    "item_chi2_upper_bound",
+]

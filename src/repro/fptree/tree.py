@@ -1,0 +1,143 @@
+"""The FP-tree: a shared-prefix encoding of a basket database.
+
+An FP-tree (Han et al.'s *frequent-pattern tree*, used by He/Xu/Deng,
+arXiv cs/0411035, to mine all strongly correlated pairs without
+candidate generation) stores every basket as a path from the root,
+with items ordered by descending frequency so that common prefixes
+collapse into shared nodes.  Each node carries the number of baskets
+whose path runs through it, and a *header table* links every node of
+each item, so all occurrences of an item are reachable without
+touching the baskets again.
+
+The key property this module exploits: for any two items ``a`` and
+``b`` with ``a`` ranked above ``b``, every basket containing both lies
+on a path where ``b``'s node has ``a`` as an ancestor.  Summing node
+counts over ancestor chains therefore yields *exact* pair
+co-occurrence counts — the ``2x2`` contingency cells follow from the
+item marginals — with total cost proportional to the compressed tree,
+not to the number of candidate pairs.
+
+Item order is deterministic: descending occurrence count, ascending
+item id on ties.  Items that occur in no basket are left out of the
+tree (they have no paths); the engine layer reconstructs their
+(all-zero co-occurrence) tables from the marginals alone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.data.basket import BasketDatabase
+
+__all__ = ["FPNode", "FPTree"]
+
+
+class FPNode:
+    """One prefix node: an item, its path count, and tree links."""
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: int | None, parent: "FPNode | None") -> None:
+        self.item = item  # None only for the root sentinel
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FPNode(item={self.item}, count={self.count})"
+
+
+class FPTree:
+    """The prefix tree plus its header table and frequency order.
+
+    Attributes:
+        root: the item-less sentinel all paths start from.
+        order: items present in at least one basket, most frequent
+            first (ties broken by ascending id).
+        rank: item -> position in ``order``.
+        header: item -> list of that item's nodes, in insertion order.
+        n_baskets: number of baskets inserted (including empty ones,
+            which contribute no path).
+    """
+
+    __slots__ = ("root", "order", "rank", "header", "n_baskets")
+
+    def __init__(self, order: tuple[int, ...]) -> None:
+        self.root = FPNode(None, None)
+        self.order = order
+        self.rank = {item: position for position, item in enumerate(order)}
+        self.header: dict[int, list[FPNode]] = {item: [] for item in order}
+        self.n_baskets = 0
+
+    @classmethod
+    def from_database(cls, db: BasketDatabase) -> "FPTree":
+        """Build the tree in one pass over ``db`` (after the count pass)."""
+        counts = db.item_counts()
+        order = tuple(
+            sorted(
+                (item for item in db.vocabulary.ids() if counts[item] > 0),
+                key=lambda item: (-counts[item], item),
+            )
+        )
+        tree = cls(order)
+        rank = tree.rank
+        for basket in db:
+            tree.insert(sorted(basket, key=rank.__getitem__))
+        return tree
+
+    def insert(self, ordered_items: list[int]) -> None:
+        """Add one basket whose items are already in tree rank order."""
+        self.n_baskets += 1
+        node = self.root
+        for item in ordered_items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self.header[item].append(child)
+            child.count += 1
+            node = child
+
+    @property
+    def n_nodes(self) -> int:
+        """Prefix nodes in the tree (the root sentinel not included)."""
+        return sum(len(nodes) for nodes in self.header.values())
+
+    def item_count(self, item: int) -> int:
+        """Occurrences of ``item``, recovered from its header nodes."""
+        return sum(node.count for node in self.header.get(item, ()))
+
+    def paths(self) -> Iterator[tuple[list[int], int]]:
+        """Yield ``(items_from_root, leaf_count)`` per distinct path.
+
+        Diagnostic/inspection view of the compression; iteration order
+        follows each level's insertion order.
+        """
+        stack: list[tuple[FPNode, list[int]]] = [(self.root, [])]
+        while stack:
+            node, prefix = stack.pop()
+            child_total = 0
+            for child in node.children.values():
+                stack.append((child, prefix + [child.item]))
+                child_total += child.count
+            if node is not self.root and node.count > child_total:
+                yield prefix, node.count - child_total
+
+    def conditional_counts(self, item: int) -> dict[int, int]:
+        """Co-occurrence counts of ``item`` with every higher-ranked item.
+
+        Walks the ancestor chain of each of ``item``'s nodes — the
+        *conditional pattern base* — accumulating the node's count into
+        each ancestor's total.  Exact by the prefix property: a basket
+        holding both items traverses the ancestor exactly once on its
+        way to ``item``'s node.
+        """
+        conditional: dict[int, int] = {}
+        for node in self.header.get(item, ()):
+            count = node.count
+            ancestor = node.parent
+            while ancestor is not None and ancestor.item is not None:
+                key = ancestor.item
+                conditional[key] = conditional.get(key, 0) + count
+                ancestor = ancestor.parent
+        return conditional

@@ -1,0 +1,49 @@
+"""Golden top-K regression fixtures for the FP-tree engine.
+
+Pins the exact top-K ranking (itemsets, statistics at full repr
+precision, contingency cells, and sweep stats) on the two workloads
+the paper evaluates — a small Quest basket world and the census — so
+refactors of the tree, the bounds, or the prune cannot silently shift
+the strongest-correlations output.  Shares loader machinery with
+``tests/test_golden_regression.py`` via ``tests/goldens.py``; to
+regenerate after an intentional change::
+
+    GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/fptree/test_golden_topk.py
+
+A separate determinism test asserts the *serialized bytes* of two
+independent runs are identical — the property the golden files lean on.
+"""
+
+from __future__ import annotations
+
+from repro.data.quest import QuestParameters, generate_quest
+from repro.fptree import FPTreePairEngine
+
+from tests.goldens import check_against_golden
+
+# Scaled-down Quest world: the paper's generator, paper's seed, but a
+# basket count/vocabulary small enough for a checked-in fixture.
+QUEST_PARAMETERS = QuestParameters(n_transactions=2_000, n_items=60, n_patterns=40)
+
+
+def _quest_db():
+    return generate_quest(QUEST_PARAMETERS)
+
+
+def test_golden_quest_topk():
+    db = _quest_db()
+    result = FPTreePairEngine(db).top_k(15, min_cooccurrence=5)
+    check_against_golden("quest_topk", result.to_dict(db.vocabulary))
+
+
+def test_golden_census_topk(census_db):
+    result = FPTreePairEngine(census_db).top_k(10, min_cooccurrence=100)
+    check_against_golden("census_topk", result.to_dict(census_db.vocabulary))
+
+
+def test_topk_serialization_is_byte_identical_across_runs():
+    db = _quest_db()
+    first = FPTreePairEngine(db).top_k(15, min_cooccurrence=5).serialize(db.vocabulary)
+    second = FPTreePairEngine(db).top_k(15, min_cooccurrence=5).serialize(db.vocabulary)
+    assert first == second
+    assert first.endswith("\n")

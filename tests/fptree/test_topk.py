@@ -1,0 +1,300 @@
+"""Property suite for the top-K branch-and-bound.
+
+The two claims that make the prune trustworthy:
+
+1. **Exactness** — ``top_k(k)`` equals the first ``k`` entries of the
+   fully-mined ranking under the deterministic (descending chi2,
+   ascending itemset) order, whether or not pruning is enabled.
+2. **No dropped pairs** — the prune never discards a qualifying pair:
+   a pruned run and an unpruned run produce identical entries, and the
+   telemetry prune counters reconcile exactly with the sweep stats of
+   both runs.
+
+Both rest on the upper-bound lemma (the pair statistic is an
+upward-opening quadratic in the co-occurrence count, so marginals
+alone bound it), which is itself property-tested against exhaustive
+enumeration below.  The text workload — the large-vocabulary regime
+the engine exists for — is checked to actually *exercise* the prune.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.contingency import ContingencyTable
+from repro.core.correlation import chi_squared
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+from repro.fptree import (
+    FPTreePairEngine,
+    chi2_pair_upper_bound,
+    item_chi2_upper_bound,
+)
+from repro.obs import Telemetry
+
+try:
+    import hypothesis.strategies as st
+    from hypothesis import given, settings
+
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised in minimal installs
+    HAS_HYPOTHESIS = False
+
+
+def brute_force_ranking(
+    db: BasketDatabase, min_cooccurrence: int
+) -> list[tuple[float, tuple[int, ...]]]:
+    """Every qualifying pair, ranked by (-chi2, itemset) — the oracle."""
+    ranked = []
+    for pair in combinations(db.vocabulary.ids(), 2):
+        itemset = Itemset(pair)
+        table = ContingencyTable.from_database(db, itemset)
+        both = dict(table.nonzero_counts()).get(0b11, 0)
+        if both >= min_cooccurrence:
+            ranked.append((-chi_squared(table), itemset.items))
+    ranked.sort()
+    return ranked
+
+
+def assert_topk_exact(baskets: list[list[int]], n_items: int, k: int, floor: int) -> None:
+    db = BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+    engine = FPTreePairEngine(db)
+    oracle = brute_force_ranking(db, floor)
+
+    full = engine.top_k(None, min_cooccurrence=floor)
+    assert [(-e.statistic, e.itemset.items) for e in full.entries] == oracle
+
+    pruned = engine.top_k(k, min_cooccurrence=floor, prune=True)
+    unpruned = engine.top_k(k, min_cooccurrence=floor, prune=False)
+    assert [(-e.statistic, e.itemset.items) for e in pruned.entries] == oracle[:k]
+    assert [(-e.statistic, e.itemset.items) for e in unpruned.entries] == oracle[:k]
+
+    # The unpruned run sees the whole universe; the pruned run may
+    # discover less but must evaluate-or-prune everything it discovers.
+    assert unpruned.stats.pairs_discovered == len(oracle)
+    assert unpruned.stats.pairs_pruned == 0
+    assert unpruned.stats.subtrees_pruned == 0
+    for stats in (pruned.stats, unpruned.stats):
+        assert stats.subtrees_walked + stats.subtrees_pruned == stats.header_items
+        assert stats.pairs_evaluated + stats.pairs_pruned == stats.pairs_discovered
+    assert pruned.stats.pairs_discovered <= unpruned.stats.pairs_discovered
+
+
+if HAS_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6).flatmap(
+            lambda n_items: st.tuples(
+                st.just(n_items),
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=0, max_value=n_items - 1),
+                        max_size=n_items,
+                    ),
+                    min_size=1,
+                    max_size=50,
+                ),
+            )
+        ),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_topk_equals_prefix_of_full_ranking(params, k, floor):
+        n_items, baskets = params
+        assert_topk_exact(baskets, n_items, k, floor)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=120),
+        st.data(),
+    )
+    def test_pair_upper_bound_dominates_every_feasible_table(n, data):
+        count_a = data.draw(st.integers(min_value=0, max_value=n))
+        count_b = data.draw(st.integers(min_value=0, max_value=n))
+        floor = data.draw(st.integers(min_value=1, max_value=4))
+        low = max(0, count_a + count_b - n, floor)
+        high = min(count_a, count_b)
+        bound = chi2_pair_upper_bound(n, count_a, count_b, floor)
+        if low > high:
+            assert bound is None
+            return
+        assert bound is not None
+        for both in range(low, high + 1):
+            cells = {
+                0b11: both,
+                0b01: count_a - both,
+                0b10: count_b - both,
+                0b00: n - count_a - count_b + both,
+            }
+            table = ContingencyTable.from_cell_counts(Itemset((0, 1)), cells, n)
+            assert chi_squared(table) <= bound + 1e-9 * max(1.0, bound)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=1, max_value=150), st.data())
+    def test_item_upper_bound_dominates_every_partner_marginal(n, data):
+        count_b = data.draw(st.integers(min_value=0, max_value=n))
+        partner_min = data.draw(st.integers(min_value=count_b, max_value=n))
+        partner_max = data.draw(st.integers(min_value=partner_min, max_value=n))
+        floor = data.draw(st.integers(min_value=1, max_value=5))
+        bound = item_chi2_upper_bound(n, count_b, partner_min, partner_max, floor)
+        for count_a in range(partner_min, partner_max + 1):
+            pair_bound = chi2_pair_upper_bound(n, count_a, count_b, floor)
+            if pair_bound is None:
+                continue
+            assert bound is not None
+            assert pair_bound <= bound + 1e-9 * max(1.0, bound)
+
+else:  # pragma: no cover - pure-random fallback for minimal environments
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_topk_equals_prefix_of_full_ranking(seed):
+        rng = random.Random(0xF00D + seed)
+        n_items = rng.randint(2, 6)
+        density = rng.uniform(0.1, 0.7)
+        baskets = [
+            [item for item in range(n_items) if rng.random() < density]
+            for _ in range(rng.randint(1, 50))
+        ]
+        assert_topk_exact(baskets, n_items, rng.randint(1, 8), rng.randint(1, 3))
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_pair_upper_bound_dominates_every_feasible_table(seed):
+        rng = random.Random(0xFEED + seed)
+        n = rng.randint(1, 120)
+        count_a, count_b = rng.randint(0, n), rng.randint(0, n)
+        floor = rng.randint(1, 4)
+        low = max(0, count_a + count_b - n, floor)
+        high = min(count_a, count_b)
+        bound = chi2_pair_upper_bound(n, count_a, count_b, floor)
+        if low > high:
+            assert bound is None
+            return
+        for both in range(low, high + 1):
+            cells = {
+                0b11: both,
+                0b01: count_a - both,
+                0b10: count_b - both,
+                0b00: n - count_a - count_b + both,
+            }
+            table = ContingencyTable.from_cell_counts(Itemset((0, 1)), cells, n)
+            assert chi_squared(table) <= bound + 1e-9 * max(1.0, bound)
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_item_upper_bound_dominates_every_partner_marginal(seed):
+        rng = random.Random(0xFACE + seed)
+        n = rng.randint(1, 150)
+        count_b = rng.randint(0, n)
+        partner_min = rng.randint(count_b, n)
+        partner_max = rng.randint(partner_min, n)
+        floor = rng.randint(1, 5)
+        bound = item_chi2_upper_bound(n, count_b, partner_min, partner_max, floor)
+        for count_a in range(partner_min, partner_max + 1):
+            pair_bound = chi2_pair_upper_bound(n, count_a, count_b, floor)
+            if pair_bound is None:
+                continue
+            assert bound is not None
+            assert pair_bound <= bound + 1e-9 * max(1.0, bound)
+
+
+def _text_db() -> BasketDatabase:
+    from repro.data.corpusgen import generate_news_corpus
+    from repro.data.text import TextPipeline
+
+    return TextPipeline().run(generate_news_corpus())
+
+
+def test_prune_never_drops_a_qualifying_pair_on_text():
+    """The paper's corpus: pruned and unpruned rankings are identical,
+    and the telemetry counters reconcile with both runs' stats."""
+    db = _text_db()
+    k, floor = 12, 5
+
+    pruned_telemetry = Telemetry.create()
+    pruned = FPTreePairEngine(db, telemetry=pruned_telemetry).top_k(
+        k, min_cooccurrence=floor, prune=True
+    )
+    unpruned_telemetry = Telemetry.create()
+    unpruned = FPTreePairEngine(db, telemetry=unpruned_telemetry).top_k(
+        k, min_cooccurrence=floor, prune=False
+    )
+
+    assert [(e.itemset, e.statistic) for e in pruned.entries] == (
+        [(e.itemset, e.statistic) for e in unpruned.entries]
+    )
+
+    # Counters mirror the stats exactly, run by run.
+    for telemetry, result in (
+        (pruned_telemetry, pruned),
+        (unpruned_telemetry, unpruned),
+    ):
+        metrics = telemetry.metrics
+        stats = result.stats
+        assert metrics.counter_value("fptree_nodes") == stats.nodes
+        assert (
+            metrics.counter_value("fptree_subtrees", outcome="walked")
+            == stats.subtrees_walked
+        )
+        assert (
+            metrics.counter_value("fptree_subtrees", outcome="pruned")
+            == stats.subtrees_pruned
+        )
+        for outcome, value in (
+            ("discovered", stats.pairs_discovered),
+            ("evaluated", stats.pairs_evaluated),
+            ("pruned", stats.pairs_pruned),
+        ):
+            assert metrics.counter_value("fptree_pairs", outcome=outcome) == value
+
+    # The whole point: the prune actually cuts work on this workload...
+    assert pruned.stats.subtrees_pruned > 0
+    assert pruned.stats.pairs_pruned > 0
+    assert pruned.stats.pairs_evaluated < unpruned.stats.pairs_evaluated
+    # ...while the unpruned sweep, by definition, cuts none.
+    assert unpruned.stats.subtrees_pruned == 0
+    assert unpruned.stats.pairs_pruned == 0
+
+
+def test_topk_matches_miner_statistics_on_text():
+    """Reported statistics are bit-identical to the level-wise miner's."""
+    from repro.core.mining import mine_correlations
+
+    db = _text_db()
+    result = mine_correlations(
+        db,
+        significance=0.95,
+        support_count=5,
+        support_fraction=0.3,
+        max_level=2,
+        counting="fptree",
+    )
+    by_itemset = {rule.itemset: rule.statistic for rule in result.rules}
+    top = FPTreePairEngine(db).top_k(10, min_cooccurrence=5)
+    for entry in top.entries:
+        if entry.itemset in by_itemset:
+            assert entry.statistic == by_itemset[entry.itemset]  # no tolerance
+
+
+def test_validation_and_edges():
+    db = BasketDatabase.from_id_baskets([[0, 1], [0], []], n_items=2)
+    engine = FPTreePairEngine(db)
+    with pytest.raises(ValueError):
+        engine.top_k(0)
+    with pytest.raises(ValueError):
+        engine.top_k(3, min_cooccurrence=0)
+
+    # Fewer qualifying pairs than k: all of them, no padding.
+    result = engine.top_k(10, min_cooccurrence=1)
+    assert len(result.entries) == 1
+    assert result.entries[0].cooccurrence == 1
+
+    # A floor nothing reaches: empty ranking, everything prunable.
+    empty = engine.top_k(5, min_cooccurrence=2)
+    assert empty.entries == ()
+
+    # Single-item and empty databases have no pairs at all.
+    lonely = FPTreePairEngine(BasketDatabase.from_id_baskets([[0]] * 4, n_items=1))
+    assert lonely.top_k(3).entries == ()

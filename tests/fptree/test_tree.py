@@ -1,0 +1,107 @@
+"""Structural correctness of the FP-tree itself.
+
+The engine's exactness reduces to three tree invariants: the item
+order is the deterministic frequency order, the paths reconstruct the
+basket multiset exactly, and the conditional (ancestor-chain) counts
+equal brute-force pair co-occurrence.  Each is pinned here on random
+and hand-picked databases, independently of the mining layers above.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from itertools import combinations
+
+from repro.data.basket import BasketDatabase
+from repro.fptree import FPTree
+
+
+def random_db(rng: random.Random) -> BasketDatabase:
+    n_items = rng.randint(1, 8)
+    density = rng.uniform(0.05, 0.8)
+    baskets = [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(rng.randint(1, 50))
+    ]
+    return BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+
+
+def test_order_is_descending_count_then_ascending_id():
+    db = BasketDatabase.from_id_baskets(
+        [[0, 1, 2, 3], [1, 2, 3], [2, 3], [1]], n_items=5
+    )
+    tree = FPTree.from_database(db)
+    # counts: 0 -> 1, 1 -> 3, 2 -> 3, 3 -> 3, 4 -> 0 (absent from tree)
+    assert tree.order == (1, 2, 3, 0)
+    assert tree.rank == {1: 0, 2: 1, 3: 2, 0: 3}
+
+
+def test_item_counts_recoverable_from_header():
+    rng = random.Random(0xF9)
+    for _ in range(30):
+        db = random_db(rng)
+        tree = FPTree.from_database(db)
+        for item in db.vocabulary.ids():
+            assert tree.item_count(item) == db.item_count(item)
+
+
+def test_duplicate_baskets_share_one_path():
+    db = BasketDatabase.from_id_baskets([[0, 1, 2]] * 50, n_items=3)
+    tree = FPTree.from_database(db)
+    assert tree.n_nodes == 3  # one shared path, not 150 nodes
+    assert [node.count for nodes in tree.header.values() for node in nodes] == [50, 50, 50]
+
+
+def test_paths_reconstruct_the_basket_multiset():
+    rng = random.Random(0xFA)
+    for _ in range(30):
+        db = random_db(rng)
+        tree = FPTree.from_database(db)
+        reconstructed: Counter[frozenset[int]] = Counter()
+        for items, count in tree.paths():
+            reconstructed[frozenset(items)] += count
+        expected: Counter[frozenset[int]] = Counter(
+            frozenset(basket) for basket in db if basket
+        )
+        assert reconstructed == expected
+
+
+def test_conditional_counts_equal_brute_force_cooccurrence():
+    rng = random.Random(0xFB)
+    for _ in range(30):
+        db = random_db(rng)
+        tree = FPTree.from_database(db)
+        brute: dict[tuple[int, int], int] = {}
+        for basket in db:
+            for pair in combinations(sorted(basket), 2):
+                brute[pair] = brute.get(pair, 0) + 1
+        seen: dict[tuple[int, int], int] = {}
+        for item in tree.order:
+            for partner, both in tree.conditional_counts(item).items():
+                # The partner is always the higher-ranked item.
+                assert tree.rank[partner] < tree.rank[item]
+                key = (partner, item) if partner < item else (item, partner)
+                assert key not in seen  # each pair attributed exactly once
+                seen[key] = both
+        assert seen == brute
+
+
+def test_empty_and_degenerate_databases():
+    empty = BasketDatabase.from_id_baskets([[], [], []], n_items=3)
+    tree = FPTree.from_database(empty)
+    assert tree.order == ()
+    assert tree.n_nodes == 0
+    assert list(tree.paths()) == []
+
+    single = BasketDatabase.from_id_baskets([[0]], n_items=1)
+    tree = FPTree.from_database(single)
+    assert tree.order == (0,)
+    assert tree.conditional_counts(0) == {}
+
+
+def test_never_occurring_item_left_out_of_tree():
+    db = BasketDatabase.from_id_baskets([[0], [0, 2]], n_items=4)
+    tree = FPTree.from_database(db)
+    assert 1 not in tree.rank and 3 not in tree.rank
+    assert tree.item_count(1) == 0

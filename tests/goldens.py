@@ -1,0 +1,68 @@
+"""Shared golden-fixture machinery for regression suites.
+
+Checked-in JSON snapshots live in ``tests/golden/``; a suite builds a
+JSON-compatible payload and calls :func:`check_against_golden`, which
+either compares against the stored fixture (failing with a precise
+path into the payload) or — when ``GOLDEN_REGENERATE=1`` — rewrites
+the fixture for review like any other code change::
+
+    GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/<suite>.py
+
+Floats are stored at full repr precision; comparison allows last-ulp
+drift from harmless arithmetic reassociation, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGENERATE = os.environ.get("GOLDEN_REGENERATE") == "1"
+RELATIVE_TOLERANCE = 1e-9
+
+__all__ = [
+    "GOLDEN_DIR",
+    "REGENERATE",
+    "RELATIVE_TOLERANCE",
+    "assert_matches",
+    "check_against_golden",
+]
+
+
+def assert_matches(actual, expected, path="$"):
+    """Deep compare with float tolerance, reporting the failing path."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE, abs=1e-12), path
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), path
+        assert sorted(actual) == sorted(expected), path
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), path
+        assert len(actual) == len(expected), path
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches(a, e, f"{path}[{index}]")
+    else:
+        assert actual == expected, path
+
+
+def check_against_golden(name: str, payload: dict) -> None:
+    """Compare ``payload`` with ``tests/golden/<name>.json`` (or rewrite it)."""
+    # Round-trip through JSON so the comparison sees exactly what a
+    # reader of the fixture file sees (tuples -> lists, NaN policy...).
+    payload = json.loads(json.dumps(payload))
+    path = GOLDEN_DIR / f"{name}.json"
+    if REGENERATE:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"golden fixture {path} is missing; run with GOLDEN_REGENERATE=1 to create it"
+    )
+    expected = json.loads(path.read_text())
+    assert_matches(payload, expected)

@@ -22,7 +22,7 @@ from repro.core.report import mining_result_to_dict
 from repro.data.quest import QuestParameters, generate_quest
 from repro.obs import FakeClock, Telemetry
 
-COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel")
+COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree")
 
 QUEST = QuestParameters(n_transactions=800, n_items=40, n_patterns=25, seed=7)
 

@@ -1,9 +1,10 @@
 """Differential backend-equivalence harness.
 
-The miner exposes two hash-table backends (``dict``, ``fks``) and five
+The miner exposes two hash-table backends (``dict``, ``fks``) and six
 counting backends (``bitmap``, ``single_pass``, ``cube``,
-``vectorized``, ``parallel``).  All ten combinations implement the
-*same* Figure 1 algorithm, so on any database they must produce
+``vectorized``, ``parallel``, ``fptree``).  All twelve combinations
+implement the *same* Figure 1 algorithm, so on any database they must
+produce
 identical ``SIG`` borders, level stats, and supported-uncorrelated sets
 — and every contingency table any of them builds must match a
 brute-force ``2^m``-cell enumerator that classifies each basket into
@@ -31,6 +32,7 @@ from repro.core.correlation import CorrelationTest
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
 from repro.data.datacube import CountDatacube
+from repro.fptree import FPTreePairEngine
 from repro.kernels import count_tables_vectorized
 from repro.measures.cellsupport import CellSupport, level1_pair_may_have_support
 from repro.parallel import ParallelCountingEngine
@@ -44,7 +46,7 @@ except ImportError:  # pragma: no cover - exercised in minimal installs
     HAS_HYPOTHESIS = False
 
 TABLE_BACKENDS = ("dict", "fks")
-COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel")
+COUNTING_BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree")
 
 SIGNIFICANCE = 0.95
 SUPPORT = CellSupport(count=2, fraction=0.3)
@@ -201,6 +203,10 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
     # identity.
     with ParallelCountingEngine(db, workers=1, n_shards=3, kernel="vectorized") as engine:
         composed_tables = engine.count_tables(probes)
+    # The FP-tree engine derives pair tables from one ancestor-chain
+    # sweep (no candidate generation) and falls back to bitmaps above
+    # level 2 — both paths are probed here.
+    fptree_tables = FPTreePairEngine(db).count_tables(probes)
     for probe in probes:
         expected = brute_force_cells(db, probe)
         for label, table in (
@@ -210,6 +216,7 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
             ("vectorized", vectorized[probe]),
             ("parallel", parallel_tables[probe]),
             ("parallel x vectorized", composed_tables[probe]),
+            ("fptree", fptree_tables[probe]),
         ):
             assert dict(table.nonzero_counts()) == expected, (label, probe)
             assert table.n == db.n_baskets, (label, probe)

@@ -237,6 +237,126 @@ class TestParallelCountingFailures:
             ChiSquaredSupportMiner(counting="sharded")
 
 
+class TestTelemetryOnErrorPaths:
+    """Telemetry must stay coherent when a counting backend dies mid-mine.
+
+    A backend raising in the middle of a level is the ugliest path for
+    the instrumentation layer: spans are open three deep and the
+    current level's counters have not been flushed yet.  These tests
+    assert the exception still propagates untouched, every span is
+    closed, completed levels' counters survive exactly, and the broken
+    level records nothing (no half-counted candidates).
+    """
+
+    def _db(self):
+        # Three independent items, every combination repeated: the mine
+        # reaches level 3, so the injected failure lands mid-run with
+        # level 2 already completed.
+        combos = [
+            [i for i in range(3) if mask >> i & 1] for mask in range(8)
+        ]
+        return BasketDatabase.from_id_baskets(combos * 5, n_items=3)
+
+    def _miner(self, counting):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create()
+        miner = ChiSquaredSupportMiner(
+            support=CellSupport(1, 0.1),
+            significance=0.95,
+            counting=counting,
+            telemetry=telemetry,
+        )
+        return miner, telemetry
+
+    @staticmethod
+    def _all_spans(telemetry):
+        spans = []
+        stack = list(telemetry.tracer.roots)
+        while stack:
+            span = stack.pop()
+            spans.append(span)
+            stack.extend(span.children)
+        return spans
+
+    def _level_counters(self, telemetry, level):
+        metrics = telemetry.metrics
+        return {
+            "candidates": metrics.counter_value("candidates", level=level),
+            "pruned_support": metrics.counter_value(
+                "candidates_pruned", level=level, reason="support"
+            ),
+            "pruned_chi2": metrics.counter_value(
+                "candidates_pruned", level=level, reason="chi2"
+            ),
+            "significant": metrics.counter_value(
+                "itemsets", level=level, kind="significant"
+            ),
+            "not_significant": metrics.counter_value(
+                "itemsets", level=level, kind="not_significant"
+            ),
+        }
+
+    def test_backend_raising_mid_level_closes_spans_and_metrics(self, monkeypatch):
+        import repro.algorithms.chi2support as chi2support_module
+
+        clean_miner, clean_telemetry = self._miner("single_pass")
+        clean_miner.mine(self._db())
+
+        real = chi2support_module.count_tables_single_pass
+        calls = {"n": 0}
+
+        def explode_on_second_level(db, candidates):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected counting failure")
+            return real(db, candidates)
+
+        monkeypatch.setattr(
+            chi2support_module, "count_tables_single_pass", explode_on_second_level
+        )
+        miner, telemetry = self._miner("single_pass")
+        with pytest.raises(RuntimeError, match="injected counting failure"):
+            miner.mine(self._db())
+
+        spans = self._all_spans(telemetry)
+        assert spans, "the mine span must have been recorded"
+        assert all(span.finished for span in spans)
+
+        # The completed level's counters match a clean run exactly; the
+        # broken level flushed nothing — not a partial count.
+        assert self._level_counters(telemetry, 2) == (
+            self._level_counters(clean_telemetry, 2)
+        )
+        broken = self._level_counters(telemetry, 3)
+        assert broken == {key: 0 for key in broken}
+
+    def test_fptree_engine_raising_mid_level_closes_spans(self, monkeypatch):
+        from repro.fptree import FPTreePairEngine
+
+        real = FPTreePairEngine.count_tables
+        calls = {"n": 0}
+
+        def explode_on_second_level(self, candidates):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected fptree failure")
+            return real(self, candidates)
+
+        monkeypatch.setattr(FPTreePairEngine, "count_tables", explode_on_second_level)
+        miner, telemetry = self._miner("fptree")
+        with pytest.raises(RuntimeError, match="injected fptree failure"):
+            miner.mine(self._db())
+
+        spans = self._all_spans(telemetry)
+        assert all(span.finished for span in spans)
+        # The tree was built (and its span closed) before the failure.
+        assert any(span.name == "fptree.build" for span in spans)
+        assert telemetry.metrics.counter_value("fptree_nodes") > 0
+        broken = self._level_counters(telemetry, 3)
+        assert broken == {key: 0 for key in broken}
+
+
 class TestMinerParameterEdges:
     def test_support_fraction_one(self):
         """p = 1: every cell must reach s — the strictest legal setting."""

@@ -10,16 +10,12 @@ To regenerate after an *intentional* behaviour change::
 
     GOLDEN_REGENERATE=1 PYTHONPATH=src python -m pytest tests/test_golden_regression.py
 
-then review the JSON diff like any other code change.
+then review the JSON diff like any other code change.  The
+fixture-loading machinery itself is shared (``tests/goldens.py``) with
+the other golden suites, e.g. the FP-tree top-K one.
 """
 
 from __future__ import annotations
-
-import json
-import os
-from pathlib import Path
-
-import pytest
 
 from repro.core.contingency import ContingencyTable
 from repro.core.correlation import chi_squared
@@ -29,45 +25,7 @@ from repro.core.report import mining_result_to_dict, rule_to_dict
 from repro.data.basket import BasketDatabase
 from repro.stats.criticals import CHI2_95_DF1
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
-REGENERATE = os.environ.get("GOLDEN_REGENERATE") == "1"
-
-# Floats are stored at full repr precision; comparison allows for
-# last-ulp drift from harmless arithmetic reassociation.
-RELATIVE_TOLERANCE = 1e-9
-
-
-def _assert_matches(actual, expected, path="$"):
-    if isinstance(expected, float) or isinstance(actual, float):
-        assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE, abs=1e-12), path
-    elif isinstance(expected, dict):
-        assert isinstance(actual, dict), path
-        assert sorted(actual) == sorted(expected), path
-        for key in expected:
-            _assert_matches(actual[key], expected[key], f"{path}.{key}")
-    elif isinstance(expected, list):
-        assert isinstance(actual, list), path
-        assert len(actual) == len(expected), path
-        for index, (a, e) in enumerate(zip(actual, expected)):
-            _assert_matches(a, e, f"{path}[{index}]")
-    else:
-        assert actual == expected, path
-
-
-def _check_against_golden(name: str, payload: dict) -> None:
-    # Round-trip through JSON so the comparison sees exactly what a
-    # reader of the fixture file sees (tuples -> lists, NaN policy...).
-    payload = json.loads(json.dumps(payload))
-    path = GOLDEN_DIR / f"{name}.json"
-    if REGENERATE:
-        GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        return
-    assert path.exists(), (
-        f"golden fixture {path} is missing; run with GOLDEN_REGENERATE=1 to create it"
-    )
-    expected = json.loads(path.read_text())
-    _assert_matches(payload, expected)
+from tests.goldens import check_against_golden as _check_against_golden
 
 
 def _example1_db() -> BasketDatabase:
