@@ -39,12 +39,14 @@ bench-counting:
 
 # End-to-end mine wall-time for every counting backend plus the FP-tree
 # top-K branch-and-bound; writes the machine-readable report.  The
-# smoke variant is the seconds-long CI gate (tiny Quest, no census).
+# smoke variant is the seconds-long CI gate (tiny Quest, no census); it
+# also fails the build if the parallel backend falls behind serial
+# bitmap on quest (the adaptive-engine regression gate).
 bench-mine:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --output BENCH_mine.json
 
 bench-mine-smoke:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --smoke --output BENCH_mine_smoke.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --smoke --gate-parallel --output BENCH_mine_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

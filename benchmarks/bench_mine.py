@@ -19,7 +19,9 @@ Two entry points:
 
 * ``python benchmarks/bench_mine.py --output BENCH_mine.json`` writes
   the machine-readable report (the ``make bench-mine`` target; pass
-  ``--smoke`` for the seconds-long CI variant);
+  ``--smoke`` for the seconds-long CI variant and ``--gate-parallel``
+  to fail the run when the parallel backend's quest wall-time exceeds
+  serial bitmap's — the CI regression gate for the adaptive engine);
 * ``pytest benchmarks/bench_mine.py`` runs the same measurement as a
   ``bench``-marked test asserting border agreement and a live prune.
 """
@@ -51,12 +53,31 @@ except ImportError:  # pragma: no cover - exercised on the no-numpy CI leg
 
 BACKENDS = ("bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree")
 
+# Measurement order differs from report order: the comparable fast
+# backends run back-to-back so bitmap-vs-vectorized-vs-parallel ratios
+# are taken under the same machine conditions, and the two slow
+# pure-Python backends (minutes of full-tilt compute on the non-smoke
+# quest) run last where the CPU state they leave behind cannot skew
+# anyone else's wall-time.
+MEASUREMENT_ORDER = ("bitmap", "vectorized", "parallel", "fptree", "single_pass", "cube")
+
+# Noise control: a backend whose first run finishes under this many
+# seconds is run once more and the faster of the two is reported
+# (first-touch page faults, allocator warm-up, and scheduler jitter
+# dominate at this scale).  The minutes-long pure-Python backends stay
+# single-shot to keep the whole benchmark bounded; their 40-130x
+# ratios dwarf any plausible noise.
+REPEAT_THRESHOLD_S = 30.0
+
 # Backends that need NumPy (directly, or via the census synthesis).
 NUMPY_BACKENDS = frozenset({"vectorized"})
 
 # Quest sized so the slowest backend (cube) still finishes in seconds.
+# The smoke variant stays seconds-long but big enough that the NumPy
+# backends amortise their fixed setup cost — the parallel-vs-bitmap
+# regression gate needs the workload to dominate the overhead.
 QUEST_PARAMS = dict(n_transactions=4_000, n_items=80, seed=1997)
-SMOKE_QUEST_PARAMS = dict(n_transactions=300, n_items=25, seed=1997)
+SMOKE_QUEST_PARAMS = dict(n_transactions=1_200, n_items=40, seed=1997)
 
 # Top-K section: a 600-document corpus kept at full vocabulary
 # (min_document_frequency=0) — the large-header regime where the
@@ -96,7 +117,7 @@ def _mine_args(name: str) -> dict:
 def _bench_dataset(name: str, db) -> dict:
     timings: dict[str, float] = {}
     borders: dict[str, list] = {}
-    for backend in BACKENDS:
+    for backend in MEASUREMENT_ORDER:
         if backend in NUMPY_BACKENDS and not HAS_NUMPY:
             continue
         kwargs = _mine_args(name)
@@ -106,9 +127,16 @@ def _bench_dataset(name: str, db) -> dict:
         result = mine_correlations(
             db, significance=0.95, counting=backend, **kwargs
         )
-        timings[backend] = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if elapsed < REPEAT_THRESHOLD_S:
+            start = time.perf_counter()
+            mine_correlations(db, significance=0.95, counting=backend, **kwargs)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        timings[backend] = elapsed
         borders[backend] = sorted(itemset.items for itemset in result.itemsets())
 
+    # Report in canonical BACKENDS order regardless of measurement order.
+    timings = {b: timings[b] for b in BACKENDS if b in timings}
     reference = borders["bitmap"]
     for backend, border in borders.items():
         assert border == reference, (
@@ -224,6 +252,15 @@ def main(argv=None) -> int:
         action="store_true",
         help="seconds-long CI variant: tiny Quest, no census, small corpus",
     )
+    parser.add_argument(
+        "--gate-parallel",
+        action="store_true",
+        help=(
+            "regression gate: fail if the parallel backend's quest wall-time "
+            "exceeds serial bitmap's (the adaptive engine must never be the "
+            "slow choice)"
+        ),
+    )
     args = parser.parse_args(argv)
     results = run_benchmark(smoke=args.smoke)
     _print_report(results)
@@ -239,6 +276,24 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.gate_parallel and not HAS_NUMPY:
+        # Without NumPy the engine is bitmap-with-dispatch-overhead by
+        # construction; the gate measures the vectorized adaptive engine.
+        print("parallel gate skipped: NumPy unavailable")
+    elif args.gate_parallel:
+        quest = results["datasets"]["quest"]["timings_s"]
+        if quest["parallel"] > quest["bitmap"]:
+            print(
+                f"FAIL: parallel quest mine took {quest['parallel']:.3f}s vs "
+                f"bitmap's {quest['bitmap']:.3f}s; the adaptive engine "
+                "regressed below the serial baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"parallel gate OK: {quest['parallel']:.3f}s <= "
+            f"bitmap {quest['bitmap']:.3f}s on quest"
+        )
     return 0
 
 

@@ -14,4 +14,5 @@ from repro.analysis.rules import (  # noqa: F401 - imported for registration
     numpy_guard,
     ordered_iteration,
     picklable,
+    shared_memory,
 )

@@ -1,0 +1,147 @@
+"""RPR008 — shared-memory segments created without an unlink path.
+
+``multiprocessing.shared_memory`` segments are *named OS objects*: they
+outlive the process that created them unless somebody calls
+``unlink()``.  A ``SharedMemory(create=True)`` whose cleanup lives on
+the happy path only — or nowhere — leaks ``/dev/shm`` space on every
+crash, and the next run's segment names collide with the corpses.  The
+engine's contract (and the failure-injection suite's assertion) is that
+every creation site releases the segment on *all* exits.
+
+A creation site is considered owned when one of these holds:
+
+* it is the context expression of a ``with`` statement (the
+  ``__exit__`` protocol releases it);
+* the enclosing function reaches ``close()``/``unlink()`` from a
+  ``finally`` block;
+* the enclosing class defines an ownership method (``close``,
+  ``unlink``, ``shutdown``, ``release``, ``_cleanup``, ``__exit__``,
+  ``__del__``) that calls ``unlink()`` — the
+  :class:`repro.parallel.shm.SharedPackedIndex` pattern, where
+  ``__init__`` creates and a dedicated idempotent ``close`` unlinks.
+
+Attach-side calls (no ``create=True``) are never flagged; attaching
+does not own the segment.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.framework import LintModule, Rule, Violation, register
+
+# Method names that conventionally own resource teardown: a class that
+# creates a segment in one method and unlinks it in one of these is a
+# well-formed owner.
+_OWNERSHIP_METHODS = {
+    "close",
+    "unlink",
+    "shutdown",
+    "release",
+    "_cleanup",
+    "__exit__",
+    "__del__",
+}
+
+_CLEANUP_CALLS = {"close", "unlink"}
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    """Whether ``node`` is ``SharedMemory(..., create=True)``."""
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _calls_cleanup(nodes: list[ast.stmt], methods: set[str]) -> bool:
+    """Whether any statement (transitively) calls one of ``methods``."""
+    for statement in nodes:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in methods
+            ):
+                return True
+    return False
+
+
+def _class_has_owner_method(cls: ast.ClassDef) -> bool:
+    for statement in cls.body:
+        if (
+            isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and statement.name in _OWNERSHIP_METHODS
+            and _calls_cleanup(statement.body, {"unlink"})
+        ):
+            return True
+    return False
+
+
+@register
+class SharedMemoryOwnershipRule(Rule):
+    id = "RPR008"
+    name = "shared-memory-ownership"
+    rationale = (
+        "SharedMemory(create=True) makes a named OS object that survives "
+        "the process; without an unlink on every exit path the segment "
+        "leaks /dev/shm space after a crash."
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Violation]:
+        tree = module.tree
+        parents: dict[ast.AST, ast.AST] = {}
+        with_owned: set[int] = set()
+        creates: list[ast.Call] = []
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                with_owned.update(id(item.context_expr) for item in node.items)
+            elif isinstance(node, ast.Call) and _is_create_call(node):
+                creates.append(node)
+        for call in creates:
+            if id(call) in with_owned:
+                continue
+            if self._site_is_owned(call, parents):
+                continue
+            yield Violation(
+                module.rel_path,
+                call.lineno,
+                call.col_offset,
+                self.id,
+                "SharedMemory(create=True) without a matching close()/unlink() "
+                "in a finally block, with statement, or ownership method; the "
+                "segment leaks on every non-happy exit",
+            )
+
+    @staticmethod
+    def _site_is_owned(call: ast.Call, parents: dict[ast.AST, ast.AST]) -> bool:
+        enclosing_function = None
+        enclosing_class = None
+        node: ast.AST | None = parents.get(call)
+        while node is not None:
+            if enclosing_function is None and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                enclosing_function = node
+            elif isinstance(node, ast.ClassDef):
+                enclosing_class = node
+                break  # methods of nested classes stop at their own class
+            node = parents.get(node)
+        if enclosing_function is not None:
+            for inner in ast.walk(enclosing_function):
+                if isinstance(inner, ast.Try) and inner.finalbody:
+                    if _calls_cleanup(inner.finalbody, _CLEANUP_CALLS):
+                        return True
+        if enclosing_class is not None and _class_has_owner_method(enclosing_class):
+            return True
+        return False

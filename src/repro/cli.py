@@ -103,6 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="LRU contingency-table cache capacity for --counting parallel",
     )
+    mine.add_argument(
+        "--kernel",
+        choices=["auto", "blocked", "moebius", "scan", "bitmap"],
+        default="auto",
+        help=(
+            "counting kernel for --counting vectorized/parallel: auto picks "
+            "per batch from observed timings; blocked/moebius/scan force one "
+            "NumPy kernel; bitmap forces the pure-Python kernels in the "
+            "parallel engine (every kernel is bit-identical)"
+        ),
+    )
+    mine.add_argument(
+        "--shared-memory",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help=(
+            "shard transport for --counting parallel: auto uses zero-copy "
+            "shared-memory slices when NumPy allows, on requires them, off "
+            "always pickles shards to workers"
+        ),
+    )
     mine.add_argument("--limit", type=int, default=50, help="print at most this many rules")
     mine.add_argument(
         "--json", action="store_true", help="emit the full result as JSON instead of text"
@@ -207,6 +228,8 @@ def _command_mine(args: argparse.Namespace) -> int:
         counting=args.counting,
         workers=args.workers,
         cache_size=args.cache_size,
+        kernel=args.kernel,
+        shared_memory=args.shared_memory,
         telemetry=telemetry,
     )
     result = miner.mine(db)

@@ -41,13 +41,28 @@ __all__ = [
 def chi_squared_dense(table: ContingencyTable) -> float:
     """Full-table chi-squared sum over all ``2^k`` cells.
 
+    The expected-value spectrum is built by doubling from the marginal
+    probabilities — ``O(2^k)`` multiplications total instead of a
+    k-multiplication :meth:`~ContingencyTable.expected` call per cell —
+    with the factor order of the per-cell evaluation preserved exactly
+    (the same precedent as :meth:`ContingencyTable.validity`), so the
+    statistic is bit-identical to the naive sum.  Cells are visited in
+    ascending index order, matching :func:`chi_squared_sparse`'s
+    canonical summation order.
+
     Cells whose expected value is zero are skipped when their observed
     count is also zero (a structural zero — an item occurring in every
     basket or in none — contributes nothing); a positive observation
     with zero expectation is a degenerate table and raises.
     """
+    expected_list = [float(table.n)]
+    for p in table.marginal_probabilities():
+        expected_list = [e * (1.0 - p) for e in expected_list] + [
+            e * p for e in expected_list
+        ]
     total = 0.0
-    for observed, expected in table.observed_expected():
+    for cell, expected in enumerate(expected_list):
+        observed = table.observed(cell)
         if expected == 0.0:
             if observed:
                 raise ZeroDivisionError(

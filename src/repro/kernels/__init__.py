@@ -15,12 +15,19 @@ bitmaps), and three kernels count contingency cells on it —
   itemsets' rows to ``uint8`` chunks and bins cell ids with
   ``np.unique``.
 
+* a **blocked level-k kernel** (`repro.kernels.blocked`) that batches
+  the Möbius walk over the candidate axis — one DFS per level instead
+  of one per itemset — in cache-resident chunks, and
+* a **telemetry-driven dispatcher** (`repro.kernels.autotune`) that
+  picks the kernel per batch from width, shape, and observed timings.
+
 Every kernel computes exact integer counts, bit-identical to the
 pure-Python kernels in :mod:`repro.core.contingency` (the differential
 backend-equivalence suite enforces this).  The miner reaches this layer
 through ``counting="vectorized"``; the sharded parallel engine composes
-with it by running the same batch entry point per shard
-(``kernel="vectorized"``).
+with it by running the same batch entry point per shard — either over a
+shard-local database or over a zero-copy slice of the shared-memory
+packed index (:mod:`repro.parallel.shm`).
 
 When NumPy is missing, :func:`count_cells_batch` and
 :func:`count_tables_vectorized` silently fall back to the pure-Python
@@ -36,16 +43,20 @@ from repro.core import contingency as _contingency
 from repro.core.contingency import ContingencyTable, count_cells
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
+from repro.kernels.autotune import DISPATCH_MODES, KernelDispatcher
 from repro.kernels.packed import HAS_NUMPY, PackedBitmapIndex, popcount
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "DISPATCH_MODES",
     "HAS_NUMPY",
+    "KernelDispatcher",
     "MOEBIUS_MAX_ITEMS",
     "PackedBitmapIndex",
     "count_cells_batch",
+    "count_cells_batch_packed",
     "count_cells_vectorized",
     "count_tables_vectorized",
     "popcount",
@@ -63,16 +74,22 @@ def count_cells_batch(
     db: BasketDatabase,
     itemsets: Sequence[Itemset],
     metrics: "MetricsRegistry | None" = None,
+    dispatcher: KernelDispatcher | None = None,
 ) -> list[dict[int, int]]:
     """Exact sparse cell counts for a batch of itemsets, vectorized.
 
     The batch entry point behind ``counting="vectorized"`` and the
-    parallel engine's vectorized shards: pairs and triples are grouped
-    and swept in closed form, mid-width itemsets go through the
-    vectorized Möbius kernel, wide ones through the basket-major scan.
-    Results align with the input order and are bit-identical to
-    :func:`repro.core.contingency.count_cells` per itemset.
+    parallel engine's vectorized shards: itemsets are grouped by width
+    and each group is handed to the kernel the dispatcher picks —
+    closed-form grams for pairs/triples, the blocked level-k kernel or
+    the per-itemset Möbius walk for mid widths, the basket-major scan
+    for wide ones.  Results align with the input order and are
+    bit-identical to :func:`repro.core.contingency.count_cells` per
+    itemset.
 
+    ``dispatcher`` (a :class:`KernelDispatcher`) carries the forced
+    mode and the learned cost model; ``None`` creates a cold ``auto``
+    dispatcher per call, which reduces to the static dispatch table.
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives one
     ``kernel_dispatch{path=...}`` increment per itemset recording which
     kernel counted it, plus the ``numpy_present`` gauge — the dispatch
@@ -83,49 +100,90 @@ def count_cells_batch(
     if not HAS_NUMPY:
         dispatch("fallback", len(itemsets))
         return [count_cells(db, itemset) for itemset in itemsets]
-    from repro.kernels.moebius import count_cells_moebius
-    from repro.kernels.scan import count_cells_scan
-    from repro.kernels.sweep import count_pairs_batch, count_triples_batch
-
     index = db.packed_index()
     results: list[dict[int, int] | None] = [None] * len(itemsets)
-    pair_slots: list[int] = []
-    triple_slots: list[int] = []
+    packed_slots: list[int] = []
+    packed_items: list[tuple[int, ...]] = []
     for slot, itemset in enumerate(itemsets):
         items = itemset.items
         k = len(items)
         if k == 0:
             raise ValueError("a contingency table needs at least one item")
-        if k == 2:
-            pair_slots.append(slot)
-        elif k == 3:
-            triple_slots.append(slot)
-        elif k == 1:
-            dispatch("unit")
-            count = int(index.counts[items[0]])
-            cells = {0b1: count, 0b0: index.n_baskets - count}
-            results[slot] = {cell: c for cell, c in cells.items() if c}
-        elif k <= MOEBIUS_MAX_ITEMS:
-            dispatch("moebius")
-            results[slot] = count_cells_moebius(index, items)
-        elif k <= _MAX_SCAN_ITEMS:
-            dispatch("scan")
-            results[slot] = count_cells_scan(index, items)
-        else:
+        if k > _MAX_SCAN_ITEMS:
             # Cell ids overflow int64 past 63 items; the sparse Python
             # scan handles arbitrary widths with big-int cells.
             dispatch("fallback")
-            results[slot] = _contingency._cells_by_scan(db, itemsets[slot])
-
-    if pair_slots:
-        dispatch("gram", len(pair_slots))
-        pairs = [itemsets[slot].items for slot in pair_slots]
-        for slot, cells in zip(pair_slots, count_pairs_batch(index, pairs)):
+            results[slot] = _contingency._cells_by_scan(db, itemset)
+        else:
+            packed_slots.append(slot)
+            packed_items.append(items)
+    if packed_items:
+        counted = count_cells_batch_packed(
+            index, packed_items, dispatcher=dispatcher, record=dispatch
+        )
+        for slot, cells in zip(packed_slots, counted):
             results[slot] = cells
-    if triple_slots:
-        dispatch("gram", len(triple_slots))
-        triples = [itemsets[slot].items for slot in triple_slots]
-        for slot, cells in zip(triple_slots, count_triples_batch(index, triples)):
+    return results  # type: ignore[return-value]
+
+
+def count_cells_batch_packed(
+    index: PackedBitmapIndex,
+    candidates: Sequence[tuple[int, ...]],
+    dispatcher: KernelDispatcher | None = None,
+    record=None,
+) -> list[dict[int, int]]:
+    """Sparse cell counts for sorted item-id tuples over a packed index.
+
+    The database-free core of :func:`count_cells_batch`: everything it
+    needs lives in the :class:`PackedBitmapIndex`, so shared-memory pool
+    workers call it directly on a zero-copy view of the parent's packed
+    matrix.  Candidates are grouped by width, each group counted by the
+    kernel ``dispatcher`` chooses (and timed to feed its cost model).
+    Widths past the 63-item scan ceiling raise — only a database can
+    count those (big-int cell ids); the callers route them beforehand.
+
+    ``record`` is an optional ``(path, n)`` callable receiving one call
+    per group, wired to the ``kernel_dispatch`` counters by
+    :func:`count_cells_batch`.
+    """
+    from repro.kernels.blocked import count_cells_blocked
+    from repro.kernels.moebius import count_cells_moebius
+    from repro.kernels.scan import count_cells_scan
+    from repro.kernels.sweep import count_pairs_batch, count_triples_batch
+
+    candidates = list(candidates)
+    if dispatcher is None:
+        dispatcher = KernelDispatcher()
+    results: list[dict[int, int] | None] = [None] * len(candidates)
+    groups: dict[int, list[int]] = {}
+    for slot, items in enumerate(candidates):
+        groups.setdefault(len(items), []).append(slot)
+    for k in sorted(groups):
+        slots = groups[k]
+        group = [candidates[slot] for slot in slots]
+        path = dispatcher.choose(k, len(group), index.n_words)
+        if record is not None:
+            record(path, len(group))
+        with dispatcher.timed(path, k, len(group), index.n_words):
+            if path == "unit":
+                n = index.n_baskets
+                counted = []
+                for items in group:
+                    count = int(index.counts[items[0]])
+                    cells = {0b1: count, 0b0: n - count}
+                    counted.append({cell: c for cell, c in cells.items() if c})
+            elif path == "gram":
+                if k == 2:
+                    counted = count_pairs_batch(index, group)
+                else:
+                    counted = count_triples_batch(index, group)
+            elif path == "blocked":
+                counted = count_cells_blocked(index, group)
+            elif path == "moebius":
+                counted = [count_cells_moebius(index, items) for items in group]
+            else:
+                counted = [count_cells_scan(index, items) for items in group]
+        for slot, cells in zip(slots, counted):
             results[slot] = cells
     return results  # type: ignore[return-value]
 
@@ -164,6 +222,7 @@ def count_tables_vectorized(
     db: BasketDatabase,
     itemsets: Iterable[Itemset],
     metrics: "MetricsRegistry | None" = None,
+    dispatcher: KernelDispatcher | None = None,
 ) -> dict[Itemset, ContingencyTable]:
     """Contingency tables for a batch of itemsets via the vectorized kernels.
 
@@ -174,7 +233,9 @@ def count_tables_vectorized(
     from the index's item counts), skipping the intermediate dict pass
     the shard wire format needs.  ``metrics`` records per-itemset
     ``kernel_dispatch`` counters exactly as :func:`count_cells_batch`
-    does.
+    does; a ``dispatcher`` with a forced mode reroutes pairs/triples
+    through that kernel too (the closed-form columns only serve the
+    ``auto`` fast path).
     """
     itemsets = list(itemsets)
     n = db.n_baskets
@@ -192,11 +253,12 @@ def count_tables_vectorized(
     pair_group: list[Itemset] = []
     triple_group: list[Itemset] = []
     other_group: list[Itemset] = []
+    forced = dispatcher is not None and dispatcher.mode != "auto"
     for itemset in itemsets:
         k = len(itemset)
-        if k == 2:
+        if k == 2 and not forced:
             pair_group.append(itemset)
-        elif k == 3:
+        elif k == 3 and not forced:
             triple_group.append(itemset)
         else:
             other_group.append(itemset)
@@ -245,7 +307,9 @@ def count_tables_vectorized(
                 itemset, cells, tuple(map(float, marginals)), n
             )
     if other_group:
-        cell_batches = count_cells_batch(db, other_group, metrics=metrics)
+        cell_batches = count_cells_batch(
+            db, other_group, metrics=metrics, dispatcher=dispatcher
+        )
         for itemset, cells in zip(other_group, cell_batches):
             marginals = tuple(
                 float(index.counts[item]) for item in itemset.items

@@ -1,0 +1,233 @@
+"""Telemetry-driven kernel dispatch (`repro.kernels.autotune`).
+
+:class:`KernelDispatcher` decides, per same-width batch, which counting
+kernel runs it: the closed-form grams for pairs/triples, the blocked
+level-k kernel, the per-itemset Möbius walk, or the basket-major scan.
+The decision combines hard width routing (cell ids overflow each kernel
+at known widths) with a learned cost model: every batch a kernel runs
+is timed, the observed seconds are divided by that batch's *work* (a
+words-touched estimate from the batch shape), and an exponential moving
+average of the resulting unit cost drives the next choice.  Before any
+observation exists the dispatcher falls back to fixed priors that
+encode the static ranking (gram < blocked < moebius << scan for dense
+widths), so a cold dispatcher behaves like a sensible static dispatch
+table and then sharpens as counters accumulate.
+
+Every decision is recorded as a ``kernel_autotune{k=...,path=...,
+reason=...}`` counter on the registry (surfaced in the run report's
+``autotune`` section) and appended to :attr:`KernelDispatcher.decisions`
+with the predicted costs, so a surprising kernel choice is auditable
+after the fact rather than a black box.
+
+The dispatcher is deliberately cheap and unsynchronised: the miner
+creates one per run and shares it across levels; each pool worker keeps
+its own, learning from its own shard timings.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["DISPATCH_MODES", "KernelDispatcher"]
+
+# ``auto`` learns; the rest force one kernel family wherever it is legal
+# (width routing still applies where a forced kernel cannot count).
+DISPATCH_MODES = ("auto", "blocked", "moebius", "scan")
+
+# Dense-table ceiling (2^k cells) shared with the blocked/Möbius kernels
+# and the pure-Python dispatcher.
+_MAX_DENSE_ITEMS = 12
+
+# Widest itemset whose cell ids fit the scan kernel's int64 arithmetic.
+_MAX_SCAN_ITEMS = 63
+
+# Relative unit-cost priors (cost per unit of work before any timing has
+# been observed).  Scale is arbitrary but shared, anchored to real
+# seconds via _REFERENCE_UNIT so cold priors compare against observed
+# EWMA values without a separate code path.
+_PRIORS = {"gram": 0.25, "blocked": 1.0, "moebius": 3.0, "scan": 40.0}
+
+# Ballpark seconds per word of packed-bitmap traffic on any recent CPU;
+# only the cold-start ordering depends on it, observations take over.
+_REFERENCE_UNIT = 2e-9
+
+# EWMA smoothing for observed unit costs.
+_ALPHA = 0.3
+
+# Decision log ring size (enough for every level of any realistic run).
+_MAX_DECISIONS = 256
+
+
+def _work(path: str, k: int, count: int, n_words: int) -> float:
+    """Words-touched estimate for ``count`` width-``k`` itemsets."""
+    words = max(1, n_words)
+    if path == "scan":
+        # The scan unpacks k rows to bytes once per itemset and bins all
+        # baskets; traffic is linear in k, not 2^k.
+        return float(count) * max(1, k) * words * 8.0
+    if path == "gram":
+        return float(count) * 4.0 * words
+    # blocked and moebius both materialise the full subset lattice.
+    return float(count) * (1 << k) * words
+
+
+class KernelDispatcher:
+    """Pick a counting kernel per batch from width, shape, and history.
+
+    ``mode`` is one of :data:`DISPATCH_MODES`.  ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) receives one
+    ``kernel_autotune{k=...,path=...,reason=...}`` increment per
+    decision; pass ``None`` to run silently.
+
+    >>> dispatcher = KernelDispatcher()
+    >>> dispatcher.choose(2, count=100, n_words=8)
+    'gram'
+    >>> dispatcher.choose(5, count=100, n_words=8)
+    'blocked'
+    >>> dispatcher.choose(20, count=3, n_words=8)
+    'scan'
+    >>> KernelDispatcher(mode="moebius").choose(5, count=100, n_words=8)
+    'moebius'
+    """
+
+    __slots__ = ("mode", "metrics", "decisions", "_units")
+
+    def __init__(
+        self, mode: str = "auto", metrics: "MetricsRegistry | None" = None
+    ) -> None:
+        if mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch mode {mode!r}; expected one of {DISPATCH_MODES}"
+            )
+        self.mode = mode
+        self.metrics = metrics
+        self.decisions: list[dict] = []
+        # path -> observed EWMA seconds-per-work (None until observed).
+        self._units: dict[str, float | None] = {path: None for path in _PRIORS}
+
+    # -- choosing -------------------------------------------------------------
+
+    def choose(self, k: int, count: int, n_words: int) -> str:
+        """The kernel path for a batch of ``count`` width-``k`` itemsets.
+
+        Returns one of ``"unit"``, ``"gram"``, ``"blocked"``,
+        ``"moebius"``, ``"scan"``; widths past the scan ceiling are the
+        caller's problem (route them to the pure-Python big-int scan).
+        """
+        if k < 1:
+            raise ValueError("a contingency table needs at least one item")
+        if k == 1:
+            return self._record(k, count, "unit", "width")
+        if k > _MAX_SCAN_ITEMS:
+            raise ValueError(
+                f"packed kernels cap at {_MAX_SCAN_ITEMS} items, got {k}"
+            )
+        if self.mode != "auto":
+            if self.mode == "scan" or k > _MAX_DENSE_ITEMS:
+                # Forced dense kernels still can't count past 2^12 cells.
+                path = "scan"
+                reason = "forced" if self.mode == "scan" else "width"
+            else:
+                path, reason = self.mode, "forced"
+            return self._record(k, count, path, reason)
+        if k <= 3:
+            return self._record(k, count, "gram", "width")
+        if k > _MAX_DENSE_ITEMS:
+            return self._record(k, count, "scan", "width")
+        path, reason = self._cheapest(("blocked", "moebius", "scan"), k, count, n_words)
+        return self._record(k, count, path, reason)
+
+    def _cheapest(
+        self, paths: tuple[str, ...], k: int, count: int, n_words: int
+    ) -> tuple[str, str]:
+        best_path, best_cost, learned = paths[0], None, False
+        costs: dict[str, float] = {}
+        for path in paths:
+            unit = self._units[path]
+            if unit is None:
+                unit = _PRIORS[path] * _REFERENCE_UNIT
+            else:
+                learned = True
+            cost = unit * _work(path, k, count, n_words)
+            costs[path] = cost
+            if best_cost is None or cost < best_cost:
+                best_path, best_cost = path, cost
+        reason = "learned" if learned else "prior"
+        self._note(k, count, best_path, reason, costs)
+        return best_path, reason
+
+    def _record(self, k: int, count: int, path: str, reason: str) -> str:
+        if reason != "learned" and reason != "prior":
+            self._note(k, count, path, reason, None)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "kernel_autotune", k=str(k), path=path, reason=reason
+            ).inc()
+        return path
+
+    def _note(
+        self, k: int, count: int, path: str, reason: str, costs: dict | None
+    ) -> None:
+        if len(self.decisions) >= _MAX_DECISIONS:
+            del self.decisions[0]
+        decision = {"k": k, "count": count, "path": path, "reason": reason}
+        if costs is not None:
+            decision["predicted_cost_s"] = {
+                p: round(c, 9) for p, c in sorted(costs.items())
+            }
+        self.decisions.append(decision)
+
+    # -- learning -------------------------------------------------------------
+
+    def observe(
+        self, path: str, k: int, count: int, n_words: int, seconds: float
+    ) -> None:
+        """Fold one timed batch into the unit-cost model for ``path``."""
+        if path not in self._units or count <= 0 or seconds < 0:
+            return
+        unit = seconds / _work(path, k, count, n_words)
+        previous = self._units[path]
+        if previous is None:
+            self._units[path] = unit
+        else:
+            self._units[path] = _ALPHA * unit + (1.0 - _ALPHA) * previous
+
+    def timed(self, path: str, k: int, count: int, n_words: int):
+        """Context manager timing a batch and feeding :meth:`observe`."""
+        return _TimedObservation(self, path, k, count, n_words)
+
+    # -- introspection --------------------------------------------------------
+
+    def unit_costs(self) -> dict[str, float | None]:
+        """Observed EWMA seconds-per-work per path (``None`` = unobserved)."""
+        return dict(self._units)
+
+
+class _TimedObservation:
+    __slots__ = ("_dispatcher", "_path", "_k", "_count", "_n_words", "_start")
+
+    def __init__(self, dispatcher, path, k, count, n_words) -> None:
+        self._dispatcher = dispatcher
+        self._path = path
+        self._k = k
+        self._count = count
+        self._n_words = n_words
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimedObservation":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._dispatcher.observe(
+                self._path,
+                self._k,
+                self._count,
+                self._n_words,
+                time.perf_counter() - self._start,
+            )

@@ -10,8 +10,8 @@ after the fact.
 The **run report** is the paper's Table 5 plus where the time went: a
 per-level row of the pruning counters (``|CAND|``, discards, ``|SIG|``,
 ``|NOTSIG|``) joined with the per-level wall and counting seconds the
-tracer measured, followed by cache, kernel-dispatch and worker-pool
-rollups.  :meth:`Telemetry.reconcile` cross-checks the metric counters
+tracer measured, followed by cache, kernel-dispatch, kernel-autotune
+and worker-pool rollups.  :meth:`Telemetry.reconcile` cross-checks the metric counters
 against the miner's own ``LevelStats`` — the two are produced by
 independent code paths, so exact agreement is a strong end-to-end
 consistency check (and a hard test gate).
@@ -146,6 +146,7 @@ class Telemetry:
             },
             "cache": self.metrics.series("cache_events"),
             "kernel_dispatch": self.metrics.series("kernel_dispatch"),
+            "autotune": self.metrics.series("kernel_autotune"),
             "pool": self.metrics.series("pool_events"),
         }
 
@@ -172,6 +173,9 @@ class Telemetry:
             lines.extend(_render_rollup("cache", self.metrics.series("cache_events")))
             lines.extend(
                 _render_rollup("kernel dispatch", self.metrics.series("kernel_dispatch"))
+            )
+            lines.extend(
+                _render_rollup("autotune", self.metrics.series("kernel_autotune"))
             )
             lines.extend(_render_rollup("pool", self.metrics.series("pool_events")))
         else:

@@ -3,16 +3,25 @@
 Rule ranking, ``compare_frameworks``, and interactive CLI re-queries all
 probe the same handful of itemsets repeatedly; counting is the expensive
 part, so the engine memoises finished tables here.  The cache is a plain
-ordered-dict LRU keyed by :class:`~repro.core.itemsets.Itemset` — safe
-because both the key and the cached :class:`ContingencyTable` are
-immutable, and the engine is bound to a single (immutable) database, so
-entries never go stale within an engine's lifetime.
+ordered-dict LRU presented as keyed by
+:class:`~repro.core.itemsets.Itemset` but *interned* to the itemset's
+sorted id tuple internally: tuple keys compare in C, where an
+``Itemset`` key pays a bytecode-dispatched ``__eq__`` whenever the
+probe object is equal to but not identical with the stored key — the
+common case here, since callers construct fresh ``Itemset`` objects per
+query (~1.4x on a fresh-object probe loop; see the benchmark note in
+``docs/algorithm.md``).  Safe because ``Itemset`` equality is
+defined as tuple equality and both key and cached
+:class:`ContingencyTable` are immutable, and the engine is bound to a
+single (immutable) database, so entries never go stale within an
+engine's lifetime.
 
-The cache is fully observable: :attr:`hits`, :attr:`misses` and
-:attr:`evictions` are read-only counters, :meth:`stats` snapshots them
-as a dict, and an optional metrics registry (:mod:`repro.obs.metrics`)
-receives one ``cache_events{kind="hit"|"miss"|"evict"}`` increment per
-event so cache behaviour shows up in mining run reports.
+The cache is fully observable: :attr:`hits`, :attr:`misses`,
+:attr:`evictions` and :attr:`bypasses` are read-only counters,
+:meth:`stats` snapshots them as a dict, and an optional metrics registry
+(:mod:`repro.obs.metrics`) receives one
+``cache_events{kind="hit"|"miss"|"evict"|"bypass"}`` increment per event
+so cache behaviour shows up in mining run reports.
 """
 
 from __future__ import annotations
@@ -47,10 +56,18 @@ class TableCache:
     >>> cache.hits, cache.misses
     (1, 0)
     >>> cache.stats()
-    {'capacity': 2, 'size': 1, 'hits': 1, 'misses': 0, 'evictions': 0}
+    {'capacity': 2, 'size': 1, 'hits': 1, 'misses': 0, 'evictions': 0, 'bypasses': 0}
     """
 
-    __slots__ = ("capacity", "_hits", "_misses", "_evictions", "_entries", "_events")
+    __slots__ = (
+        "capacity",
+        "_hits",
+        "_misses",
+        "_evictions",
+        "_bypasses",
+        "_entries",
+        "_events",
+    )
 
     def __init__(self, capacity: int = 256, metrics: "MetricsRegistry | None" = None) -> None:
         if metrics is None:
@@ -61,11 +78,15 @@ class TableCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
-        self._entries: OrderedDict[Itemset, ContingencyTable] = OrderedDict()
+        self._bypasses = 0
+        # Interned keys: the itemset's sorted id tuple, never the
+        # Itemset itself (C-speed equality on every get/put).
+        self._entries: OrderedDict[tuple[int, ...], ContingencyTable] = OrderedDict()
         self._events = {
             "hit": metrics.counter("cache_events", kind="hit"),
             "miss": metrics.counter("cache_events", kind="miss"),
             "evict": metrics.counter("cache_events", kind="evict"),
+            "bypass": metrics.counter("cache_events", kind="bypass"),
         }
 
     @property
@@ -83,6 +104,11 @@ class TableCache:
         """Entries dropped to respect the capacity bound."""
         return self._evictions
 
+    @property
+    def bypasses(self) -> int:
+        """Tables the engine never offered because the batch outsized the cache."""
+        return self._bypasses
+
     def stats(self) -> dict[str, int]:
         """Counter snapshot plus the current occupancy."""
         return {
@@ -91,22 +117,24 @@ class TableCache:
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
+            "bypasses": self._bypasses,
         }
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, itemset: Itemset) -> bool:
-        return itemset in self._entries
+        return itemset.items in self._entries
 
     def get(self, itemset: Itemset) -> ContingencyTable | None:
         """Return the cached table (refreshing recency) or ``None``."""
-        table = self._entries.get(itemset)
+        key = itemset.items
+        table = self._entries.get(key)
         if table is None:
             self._misses += 1
             self._events["miss"].inc()
             return None
-        self._entries.move_to_end(itemset)
+        self._entries.move_to_end(key)
         self._hits += 1
         self._events["hit"].inc()
         return table
@@ -115,13 +143,19 @@ class TableCache:
         """Insert a table, evicting the least recently used beyond capacity."""
         if self.capacity <= 0:
             return
-        if itemset in self._entries:
-            self._entries.move_to_end(itemset)
-        self._entries[itemset] = table
+        key = itemset.items
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = table
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self._evictions += 1
             self._events["evict"].inc()
+
+    def note_bypass(self, n: int) -> None:
+        """Record ``n`` tables that skipped the cache wholesale."""
+        self._bypasses += n
+        self._events["bypass"].inc(n)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -4,54 +4,83 @@
 :class:`~repro.data.basket.BasketDatabase` and anything that needs
 contingency tables — the chi-squared-support miner's
 ``counting="parallel"`` backend, rule ranking, interactive probes.  It
-has three moving parts:
+has four moving parts:
 
 1. **Sharding** — the database is partitioned once into contiguous row
-   shards (`repro.parallel.sharding`), each able to count cells for a
-   batch of itemsets on its own vertical bitmaps — with either the
-   pure-Python big-int kernels or the NumPy packed-bitmap kernels of
-   :mod:`repro.kernels` (the ``kernel`` knob; ``"auto"`` picks
-   vectorized whenever NumPy imports), so the parallel and vectorized
-   backends compose.
-2. **A worker pool** — shards are shipped to ``multiprocessing`` workers
-   once (pool initializer) and afterwards addressed by index; a counting
-   batch fans one task per shard out and merges the returned sparse
-   dicts, exploiting that any cell count is a sum over shards.  With
-   ``workers=1``, or whenever a pool cannot be created or misbehaves,
-   counting runs in-process over the full database — the deterministic
-   serial path, which produces bit-identical tables.
-3. **A bounded LRU table cache** (`repro.parallel.cache`) keyed by
-   itemset, so repeated probes skip recounting entirely.
+   shards, in one of two transports: **shared memory**
+   (:mod:`repro.parallel.shm`; the default whenever NumPy is present),
+   where the packed bitmap matrix lives in one
+   ``multiprocessing.shared_memory`` segment and each shard is a
+   zero-copy word-aligned column slice workers attach to by name, or
+   **pickle** (:mod:`repro.parallel.sharding`), where each shard's
+   basket tuples ship to workers at pool-init time — the pure-Python
+   fallback.  Either way each shard counts cells on its own with the
+   kernel the ``kernel`` knob selects.
+2. **A worker pool** — created once and reused across every
+   ``count_tables()`` call (and across successive ``mine()`` runs when
+   the engine is injected into the miner); a counting batch fans one
+   task per shard out and merges the returned sparse dicts, exploiting
+   that any cell count is a sum over shards.
+3. **Adaptive dispatch** — parallelism has real dispatch cost, so the
+   engine only fans out when it can pay off: batches below
+   ``min_parallel_batch`` run serially, as does everything when fewer
+   than two effective workers exist (``workers`` capped by CPU count),
+   and observed per-itemset serial vs parallel timings steer later
+   batches toward whichever mode is measured faster (with periodic
+   re-probes).  ``min_parallel_batch=0`` forces the pool path — the
+   failure-injection tests rely on that.
+4. **A bounded LRU table cache** (`repro.parallel.cache`) keyed by
+   itemset, so repeated probes skip recounting entirely.  Batches
+   larger than the cache bypass it wholesale instead of churning
+   evictions.
 
 Failure semantics: a crashed worker or a task outliving ``task_timeout``
 raises :class:`CountingError` (never hangs).  With ``fallback_serial``
 (the default) the engine logs the failure, permanently degrades to the
 serial path, and still returns exact results; with it disabled the error
-propagates to the caller.
+propagates to the caller.  In every failure path — and on ``close()``,
+``__exit__``, and interpreter ``atexit`` — the shared-memory segment is
+released and unlinked exactly once.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import time
 from collections.abc import Iterable, Sequence
 
 from repro.core.contingency import ContingencyTable, count_cells
 from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
+from repro.kernels.autotune import DISPATCH_MODES, KernelDispatcher
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.parallel.cache import TableCache
-from repro.parallel.sharding import (
-    Shard,
-    merge_shard_counts,
-    resolve_kernel,
-    shard_database,
-)
+from repro.parallel.sharding import merge_shard_counts, shard_database
 
-__all__ = ["CountingError", "ParallelCountingEngine"]
+__all__ = ["CountingError", "DEFAULT_MIN_PARALLEL_BATCH", "ParallelCountingEngine"]
 
 logger = logging.getLogger("repro.parallel")
+
+# Smallest batch worth a trip through the worker pool when the caller
+# leaves min_parallel_batch adaptive: below this, per-task dispatch and
+# result pickling dominate any conceivable counting speedup.
+DEFAULT_MIN_PARALLEL_BATCH = 64
+
+# With adaptive dispatch settled on serial, retry the pool every Nth
+# batch so a transiently slow pool can win back the work.
+_REPROBE_EVERY = 8
+
+# Kernel names the engine (and both shard types) accept: the classic
+# pair plus the forced dispatcher modes of repro.kernels.autotune.
+_KERNELS = ("auto", "bitmap", "vectorized") + tuple(
+    mode for mode in DISPATCH_MODES if mode != "auto"
+)
+
+# Itemsets wider than this cannot ride the packed shared-memory shards
+# (cell ids overflow int64); such batches run serially over the database.
+_MAX_PACKED_ITEMS = 63
 
 
 class CountingError(RuntimeError):
@@ -60,10 +89,10 @@ class CountingError(RuntimeError):
 
 # Worker-side state: the shard list arrives once via the pool initializer
 # so per-batch messages carry only a shard index and the candidate tuples.
-_WORKER_SHARDS: list[Shard] = []
+_WORKER_SHARDS: list = []
 
 
-def _init_worker(shards: list[Shard]) -> None:
+def _init_worker(shards: list) -> None:
     global _WORKER_SHARDS
     _WORKER_SHARDS = shards
 
@@ -91,18 +120,32 @@ class ParallelCountingEngine:
             to use instead of the default (``fork`` where available).
         kernel: the counting kernel each shard (and the serial path)
             runs — ``"bitmap"`` for the pure-Python big-int kernels,
-            ``"vectorized"`` for the NumPy packed-bitmap kernels of
-            :mod:`repro.kernels`, or ``"auto"`` (default) for
-            vectorized-when-NumPy-imports.  This is how the parallel
-            and vectorized backends compose; every kernel produces
+            ``"vectorized"`` for the NumPy packed-bitmap kernels with
+            autotuned dispatch, one of ``"blocked"``/``"moebius"``/
+            ``"scan"`` to force that vectorized kernel everywhere it is
+            legal, or ``"auto"`` (default) for
+            vectorized-when-NumPy-imports.  Every kernel produces
             bit-identical tables.
+        shared_memory: ``"auto"`` (default) ships shards as zero-copy
+            shared-memory slices whenever NumPy is present and the
+            kernel is vectorized, falling back to pickled shards
+            otherwise; ``"on"`` requires shared memory (raises without
+            NumPy); ``"off"`` always pickles.  Booleans are accepted as
+            aliases for on/off.
+        min_parallel_batch: smallest batch dispatched to the pool.
+            ``None`` (default) is adaptive: a built-in floor of
+            ``DEFAULT_MIN_PARALLEL_BATCH`` plus measured serial-versus-
+            parallel steering; ``0`` forces every batch through the
+            pool (tests and benchmarks); any other value replaces the
+            floor.
         telemetry: a :class:`repro.obs.Telemetry` bundle; when given,
             the engine records per-batch spans and timing histograms
             (``count_batch_seconds{mode=...}``, per-shard
             ``shard_task_seconds``), worker-pool event counters
-            (``pool_events{kind=...}``), and cache hit/miss/evict
-            counters.  Defaults to the no-op bundle.  Only the parent
-            process records — worker processes run un-instrumented.
+            (``pool_events{kind=...}``), kernel autotuner decisions
+            (``kernel_autotune{...}``), and cache counters.  Defaults
+            to the no-op bundle.  Only the parent process records —
+            worker processes run un-instrumented.
 
     >>> db = BasketDatabase.from_baskets([["a", "b"]] * 3 + [["a"]] * 2 + [[]] * 5)
     >>> with ParallelCountingEngine(db, workers=1) as engine:
@@ -121,6 +164,8 @@ class ParallelCountingEngine:
         fallback_serial: bool = True,
         mp_context=None,
         kernel: str = "auto",
+        shared_memory: str | bool = "auto",
+        min_parallel_batch: int | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         if workers is None:
@@ -131,21 +176,46 @@ class ParallelCountingEngine:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError(f"task_timeout must be positive, got {task_timeout}")
-        if kernel not in ("auto", "bitmap", "vectorized"):
+        if kernel not in _KERNELS:
             raise ValueError(f"unknown counting kernel {kernel!r}")
+        if isinstance(shared_memory, bool):
+            shared_memory = "on" if shared_memory else "off"
+        if shared_memory not in ("auto", "on", "off"):
+            raise ValueError(
+                f"shared_memory must be 'auto', 'on', or 'off', got {shared_memory!r}"
+            )
+        if min_parallel_batch is not None and min_parallel_batch < 0:
+            raise ValueError(
+                f"min_parallel_batch must be >= 0, got {min_parallel_batch}"
+            )
         self.db = db
         self.workers = workers
         self.kernel = kernel
+        self.shared_memory = shared_memory
+        self.min_parallel_batch = min_parallel_batch
         self.task_timeout = task_timeout
         self.fallback_serial = fallback_serial
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.cache = TableCache(cache_size, metrics=self.telemetry.metrics)
         self._mp_context = mp_context
-        self._shards: list[Shard] | None = None
+        self._shards: list | None = None
         self._n_shards = n_shards if n_shards is not None else workers
         self._pool = None
         self._pool_broken = False
+        self._shared_index = None
         self.degraded = False
+        # The parent-side kernel dispatcher: serial batches run through
+        # it, so its cost model learns across every level of a mine.
+        self.dispatcher = KernelDispatcher(
+            mode=self._dispatch_mode(), metrics=self.telemetry.metrics
+        )
+        # Measured seconds-per-itemset by mode, steering adaptive dispatch.
+        self._mode_unit: dict[str, float | None] = {"serial": None, "parallel": None}
+        self._settled_serial = 0
+        if shared_memory == "on" and not self._kernel_is_vectorized():
+            raise ValueError(
+                "shared_memory='on' requires NumPy and a vectorized kernel"
+            )
         # Observability counters for benchmarks and the CLI.
         self.tasks_dispatched = 0
         self.parallel_batches = 0
@@ -154,12 +224,66 @@ class ParallelCountingEngine:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _dispatch_mode(self) -> str:
+        return self.kernel if self.kernel in DISPATCH_MODES else "auto"
+
+    def _kernel_is_vectorized(self) -> bool:
+        """Whether the resolved kernel family is the NumPy one."""
+        if self.kernel == "bitmap":
+            return False
+        from repro.kernels import HAS_NUMPY
+
+        return HAS_NUMPY
+
     @property
-    def shards(self) -> list[Shard]:
-        """The row shards (built lazily, before any pool exists)."""
+    def shards(self) -> list:
+        """The shards (built lazily, before any pool exists).
+
+        Shared-memory slices when the transport allows it, pickled row
+        shards otherwise; creation failures fall back to pickling with
+        a ``pool_events{kind="shm_unavailable"}`` counter (unless
+        ``shared_memory="on"``, which propagates the error).
+        """
         if self._shards is None:
-            self._shards = shard_database(self.db, self._n_shards, kernel=self.kernel)
+            if self._use_shared_memory():
+                try:
+                    self._shards = self._build_shared_shards()
+                except Exception as error:
+                    if self.shared_memory == "on":
+                        raise
+                    logger.warning(
+                        "shared-memory shards unavailable (%s); pickling shards",
+                        error,
+                    )
+                    self.telemetry.metrics.counter(
+                        "pool_events", kind="shm_unavailable"
+                    ).inc()
+                    self._close_shared_index()
+            if self._shards is None:
+                self._shards = shard_database(
+                    self.db, self._n_shards, kernel=self.kernel
+                )
         return self._shards
+
+    def _use_shared_memory(self) -> bool:
+        if self.shared_memory == "off":
+            return False
+        return self._kernel_is_vectorized()
+
+    def _build_shared_shards(self) -> list:
+        from repro.parallel import shm
+
+        self._shared_index = shm.SharedPackedIndex(self.db.packed_index())
+        shards = shm.shard_shared_index(
+            self._shared_index, self._n_shards, kernel=self.kernel
+        )
+        self.telemetry.metrics.counter("pool_events", kind="shm_created").inc()
+        return shards
+
+    def _close_shared_index(self) -> None:
+        if self._shared_index is not None:
+            self._shared_index.close()
+            self._shared_index = None
 
     def _context(self):
         if self._mp_context is None:
@@ -182,6 +306,7 @@ class ParallelCountingEngine:
                 initializer=_init_worker,
                 initargs=(self.shards,),
             )
+            self.telemetry.metrics.counter("pool_events", kind="pool_created").inc()
         except Exception as error:  # pool creation can fail in sandboxes
             logger.warning("worker pool unavailable (%s); using serial counting", error)
             self.telemetry.metrics.counter("pool_events", kind="pool_unavailable").inc()
@@ -190,18 +315,33 @@ class ParallelCountingEngine:
         return self._pool
 
     def _discard_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._pool_broken = True
+        """Tear the pool down after a failure; the segment goes with it."""
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            self._pool_broken = True
+            # Degraded counting is serial over the parent's own index;
+            # nothing will attach to the segment again.
+            self._close_shared_index()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Shut the pool down and unlink shared memory (idempotent).
+
+        The engine stays usable after ``close()`` — the next counting
+        batch lazily rebuilds whatever it needs — so a miner borrowing
+        an injected engine can be conservative about closing.
+        """
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+        finally:
+            self._close_shared_index()
+            self._shards = None
 
     def __enter__(self) -> "ParallelCountingEngine":
         return self
@@ -228,8 +368,10 @@ class ParallelCountingEngine:
 
         Cached tables are returned immediately; the rest are counted in
         one sharded batch (or serially — see the class docstring for the
-        degradation rules) and inserted into the cache.  The returned
-        dict preserves first-seen input order.
+        degradation rules) and inserted into the cache, unless the batch
+        exceeds the cache capacity, in which case the cache is bypassed
+        (``cache_events{kind="bypass"}``) rather than churned.  The
+        returned dict preserves first-seen input order.
         """
         ordered: list[Itemset] = []
         results: dict[Itemset, ContingencyTable] = {}
@@ -245,8 +387,12 @@ class ParallelCountingEngine:
                 missing.append(itemset)
 
         if missing:
+            populate = len(missing) <= self.cache.capacity
+            if not populate and self.cache.capacity > 0:
+                self.cache.note_bypass(len(missing))
             for itemset, table in zip(missing, self._count_batch(missing)):
-                self.cache.put(itemset, table)
+                if populate:
+                    self.cache.put(itemset, table)
                 results[itemset] = table
         return {itemset: results[itemset] for itemset in ordered}
 
@@ -254,6 +400,8 @@ class ParallelCountingEngine:
 
     def _count_batch(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
         if self.workers == 1 or self._pool_broken or self.degraded:
+            return self._timed_batch("serial", self._count_serial, itemsets)
+        if not self._worth_parallel(itemsets):
             return self._timed_batch("serial", self._count_serial, itemsets)
         try:
             return self._timed_batch("parallel", self._count_parallel, itemsets)
@@ -266,6 +414,45 @@ class ParallelCountingEngine:
             self.degraded = True
             return self._timed_batch("serial", self._count_serial, itemsets)
 
+    def _worth_parallel(self, itemsets: Sequence[Itemset]) -> bool:
+        """Whether fanning this batch out beats counting it in-process."""
+        if self._shared_index is not None or self._use_shared_memory():
+            # Packed shards cannot count past the int64 cell-id ceiling.
+            if any(len(itemset) > _MAX_PACKED_ITEMS for itemset in itemsets):
+                self.telemetry.metrics.counter(
+                    "pool_events", kind="wide_candidates"
+                ).inc()
+                return False
+        if self.min_parallel_batch == 0:
+            return True
+        effective = min(self.workers, os.cpu_count() or 1)
+        if effective <= 1:
+            self.telemetry.metrics.counter(
+                "pool_events", kind="undersubscribed"
+            ).inc()
+            return False
+        floor = (
+            self.min_parallel_batch
+            if self.min_parallel_batch is not None
+            else DEFAULT_MIN_PARALLEL_BATCH
+        )
+        if len(itemsets) < floor:
+            self.telemetry.metrics.counter("pool_events", kind="small_batch").inc()
+            return False
+        parallel_unit = self._mode_unit["parallel"]
+        serial_unit = self._mode_unit["serial"]
+        if parallel_unit is None:
+            return True  # never measured: probe the pool
+        if serial_unit is not None and serial_unit <= parallel_unit:
+            self._settled_serial += 1
+            if self._settled_serial % _REPROBE_EVERY == 0:
+                return True
+            self.telemetry.metrics.counter(
+                "pool_events", kind="adaptive_serial"
+            ).inc()
+            return False
+        return True
+
     def _timed_batch(self, mode, count, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
         """Run one counting batch under a span + duration histogram."""
         with self.telemetry.tracer.span(
@@ -275,6 +462,11 @@ class ParallelCountingEngine:
         self.telemetry.metrics.histogram("count_batch_seconds", mode=mode).observe(
             batch_span.duration
         )
+        unit = batch_span.duration / max(1, len(itemsets))
+        previous = self._mode_unit.get(mode)
+        self._mode_unit[mode] = (
+            unit if previous is None else 0.3 * unit + 0.7 * previous
+        )
         return tables
 
     def _count_serial(self, itemsets: Sequence[Itemset]) -> list[ContingencyTable]:
@@ -282,16 +474,16 @@ class ParallelCountingEngine:
         self.serial_batches += 1
         self.telemetry.metrics.counter("pool_events", kind="serial_batch").inc()
         n = self.db.n_baskets
-        if resolve_kernel(self.kernel) == "vectorized":
-            from repro.kernels import count_cells_batch
+        if self._kernel_is_vectorized():
+            from repro.kernels import count_tables_vectorized
 
-            cell_batches = count_cells_batch(
-                self.db, itemsets, metrics=self.telemetry.metrics
+            tables = count_tables_vectorized(
+                self.db,
+                itemsets,
+                metrics=self.telemetry.metrics,
+                dispatcher=self.dispatcher,
             )
-            return [
-                ContingencyTable.from_cell_counts(itemset, cells, n)
-                for itemset, cells in zip(itemsets, cell_batches)
-            ]
+            return [tables[itemset] for itemset in itemsets]
         return [
             ContingencyTable.from_cell_counts(itemset, count_cells(self.db, itemset), n)
             for itemset in itemsets

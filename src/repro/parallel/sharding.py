@@ -27,12 +27,19 @@ from repro.data.basket import BasketDatabase
 __all__ = ["Shard", "resolve_kernel", "shard_database", "merge_shard_counts"]
 
 
+# Kernel names a shard accepts: bitmap/vectorized plus the forced
+# dispatcher modes of repro.kernels.autotune (which imply vectorized).
+_SHARD_KERNELS = ("auto", "bitmap", "vectorized", "blocked", "moebius", "scan")
+
+
 def resolve_kernel(kernel: str) -> str:
     """Resolve a counting-kernel name, mapping ``"auto"`` to the fastest.
 
     ``"auto"`` means the NumPy packed-bitmap kernels when NumPy is
     importable and the pure-Python big-int path otherwise — resolved at
-    call time, so a worker process decides on *its* environment.
+    call time, so a worker process decides on *its* environment.  The
+    forced dispatcher modes (``"blocked"``/``"moebius"``/``"scan"``)
+    resolve to themselves; they are vectorized-family kernels.
     """
     if kernel == "auto":
         from repro.kernels import HAS_NUMPY
@@ -75,7 +82,7 @@ class Shard:
         kernel: str = "auto",
         fault: str | None = None,
     ) -> None:
-        if kernel not in ("auto", "bitmap", "vectorized"):
+        if kernel not in _SHARD_KERNELS:
             raise ValueError(f"unknown counting kernel {kernel!r}")
         self.index = index
         self.start = start
@@ -128,10 +135,15 @@ class Shard:
             time.sleep(30.0)
         db = self.database()
         itemsets = [Itemset._from_sorted(items) for items in candidates]
-        if resolve_kernel(self.kernel) == "vectorized":
+        resolved = resolve_kernel(self.kernel)
+        if resolved != "bitmap":
             from repro.kernels import count_cells_batch
+            from repro.parallel.shm import _worker_dispatcher
 
-            return count_cells_batch(db, itemsets)
+            mode = resolved if resolved in ("blocked", "moebius", "scan") else "auto"
+            return count_cells_batch(
+                db, itemsets, dispatcher=_worker_dispatcher(mode)
+            )
         return [count_cells(db, itemset) for itemset in itemsets]
 
     def __repr__(self) -> str:

@@ -1,0 +1,45 @@
+"""Fixture: every shared-memory creation site owns its cleanup (RPR008)."""
+
+from multiprocessing import shared_memory
+
+
+def finally_guarded(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf[:8])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def context_managed(nbytes):
+    with shared_memory.SharedMemory(create=True, size=nbytes) as segment:
+        return bytes(segment.buf[:8])
+
+
+def attach_only(name):
+    # Attaching never owns the segment; no create=True, never flagged.
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:8])
+    finally:
+        segment.close()
+
+
+class OwningSegment:
+    """The SharedPackedIndex pattern: create in __init__, unlink in close."""
+
+    def __init__(self, nbytes):
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+
+    def close(self):
+        try:
+            self._shm.close()
+        finally:
+            self._shm.unlink()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

@@ -1,0 +1,35 @@
+"""Fixture: shared-memory segments created without an unlink path (RPR008)."""
+
+from multiprocessing import shared_memory
+
+
+def leak_on_crash(nbytes):
+    # No finally, no with, no owning class: a crash between create and
+    # the explicit cleanup strands the segment in /dev/shm.
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    payload = bytes(segment.buf[:8])
+    segment.close()
+    segment.unlink()
+    return payload
+
+
+def happy_path_only(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        return bytes(segment.buf[:8])
+    except ValueError:
+        # Cleanup on one branch is not ownership; the success path and
+        # every other exception still leak the segment.
+        segment.close()
+        segment.unlink()
+        raise
+
+
+class HoldsButNeverUnlinks:
+    """Closes its handle but never unlinks the named segment."""
+
+    def __init__(self, nbytes):
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+
+    def close(self):
+        self._shm.close()

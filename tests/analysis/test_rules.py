@@ -11,7 +11,7 @@ from repro.analysis import REGISTRY, lint
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
 
-MODULE_RULES = ["RPR001", "RPR002", "RPR003", "RPR005", "RPR006", "RPR007"]
+MODULE_RULES = ["RPR001", "RPR002", "RPR003", "RPR005", "RPR006", "RPR007", "RPR008"]
 
 
 def lint_fixture(name: str, select: list[str] | None = None):

@@ -1,0 +1,128 @@
+"""Unit tests for the telemetry-driven kernel dispatcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels.autotune import DISPATCH_MODES, KernelDispatcher
+
+
+class TestWidthRouting:
+    def test_unit_width(self):
+        assert KernelDispatcher().choose(1, count=10, n_words=4) == "unit"
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_gram_widths(self, k):
+        assert KernelDispatcher().choose(k, count=10, n_words=4) == "gram"
+
+    def test_wide_widths_scan(self):
+        assert KernelDispatcher().choose(13, count=10, n_words=4) == "scan"
+        assert KernelDispatcher().choose(63, count=10, n_words=4) == "scan"
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            KernelDispatcher().choose(0, count=10, n_words=4)
+        with pytest.raises(ValueError):
+            KernelDispatcher().choose(64, count=10, n_words=4)
+
+    def test_cold_dispatcher_prefers_blocked_for_mid_widths(self):
+        """The static priors rank blocked cheapest for dense k = 4..11.
+
+        At k = 12 the scan's linear-in-k work model (k * 8 words * prior
+        40) finally undercuts the dense kernels' 2^k cells, so a cold
+        dispatcher hands the widest dense batch to the scan.
+        """
+        for k in range(4, 12):
+            assert KernelDispatcher().choose(k, count=50, n_words=8) == "blocked", k
+        assert KernelDispatcher().choose(12, count=50, n_words=8) == "scan"
+
+
+class TestForcedModes:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            KernelDispatcher(mode="gpu")
+        for mode in DISPATCH_MODES:
+            KernelDispatcher(mode=mode)
+
+    @pytest.mark.parametrize("mode", ["blocked", "moebius"])
+    def test_forced_dense_modes(self, mode):
+        dispatcher = KernelDispatcher(mode=mode)
+        assert dispatcher.choose(5, count=10, n_words=4) == mode
+        # Dense kernels cannot count past 2^12 cells: width routing wins.
+        assert dispatcher.choose(13, count=10, n_words=4) == "scan"
+        # k=1 stays on the unit path (the per-item counts are free).
+        assert dispatcher.choose(1, count=10, n_words=4) == "unit"
+
+    def test_forced_scan(self):
+        dispatcher = KernelDispatcher(mode="scan")
+        assert dispatcher.choose(2, count=10, n_words=4) == "scan"
+        assert dispatcher.choose(12, count=10, n_words=4) == "scan"
+
+
+class TestLearning:
+    def test_observation_flips_the_choice(self):
+        dispatcher = KernelDispatcher()
+        assert dispatcher.choose(6, count=40, n_words=16) == "blocked"
+        # Teach it that blocked is catastrophically slow here while the
+        # scan is essentially free; the next choice must flip.
+        dispatcher.observe("blocked", 6, 40, 16, seconds=10.0)
+        dispatcher.observe("scan", 6, 40, 16, seconds=1e-9)
+        assert dispatcher.choose(6, count=40, n_words=16) == "scan"
+        assert dispatcher.decisions[-1]["reason"] == "learned"
+
+    def test_ewma_smoothing(self):
+        dispatcher = KernelDispatcher()
+        dispatcher.observe("scan", 4, 10, 8, seconds=1.0)
+        first = dispatcher.unit_costs()["scan"]
+        dispatcher.observe("scan", 4, 10, 8, seconds=1.0)
+        second = dispatcher.unit_costs()["scan"]
+        assert first is not None and second is not None
+        assert second == pytest.approx(first)  # same signal -> stable EWMA
+        dispatcher.observe("scan", 4, 10, 8, seconds=100.0)
+        assert dispatcher.unit_costs()["scan"] > second  # new signal folds in
+
+    def test_bogus_observations_ignored(self):
+        dispatcher = KernelDispatcher()
+        dispatcher.observe("warp", 4, 10, 8, seconds=1.0)
+        dispatcher.observe("scan", 4, 0, 8, seconds=1.0)
+        dispatcher.observe("scan", 4, 10, 8, seconds=-1.0)
+        assert all(unit is None for unit in dispatcher.unit_costs().values())
+
+    def test_timed_context_observes_success_only(self):
+        dispatcher = KernelDispatcher()
+        with dispatcher.timed("scan", 4, 10, 8):
+            pass
+        assert dispatcher.unit_costs()["scan"] is not None
+        before = dispatcher.unit_costs()["blocked"]
+        with pytest.raises(RuntimeError):
+            with dispatcher.timed("blocked", 4, 10, 8):
+                raise RuntimeError("kernel blew up")
+        assert dispatcher.unit_costs()["blocked"] == before  # not recorded
+
+
+class TestAuditTrail:
+    def test_decisions_carry_predicted_costs(self):
+        dispatcher = KernelDispatcher()
+        dispatcher.choose(5, count=20, n_words=8)
+        decision = dispatcher.decisions[-1]
+        assert decision["k"] == 5 and decision["count"] == 20
+        assert set(decision["predicted_cost_s"]) == {"blocked", "moebius", "scan"}
+
+    def test_decision_ring_is_bounded(self):
+        from repro.kernels.autotune import _MAX_DECISIONS
+
+        dispatcher = KernelDispatcher()
+        for _ in range(_MAX_DECISIONS + 25):
+            dispatcher.choose(5, count=1, n_words=1)
+        assert len(dispatcher.decisions) == _MAX_DECISIONS
+
+    def test_metrics_counters_recorded(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        dispatcher = KernelDispatcher(metrics=metrics)
+        dispatcher.choose(2, count=10, n_words=4)
+        dispatcher.choose(5, count=10, n_words=4)
+        series = metrics.series("kernel_autotune")
+        assert any('path="gram"' in key and 'k="2"' in key for key in series)
+        assert any('path="blocked"' in key and 'k="5"' in key for key in series)

@@ -1,0 +1,96 @@
+"""Unit tests for the blocked level-k kernel (`repro.kernels.blocked`)."""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+import pytest
+
+from repro.core.contingency import count_cells
+from repro.core.itemsets import Itemset
+from repro.data.basket import BasketDatabase
+
+np = pytest.importorskip("numpy")
+
+from repro.kernels.blocked import (  # noqa: E402
+    BLOCKED_MAX_ITEMS,
+    count_cells_blocked,
+    mask_supports,
+)
+
+
+def random_db(seed: int, n_items: int, n_baskets: int) -> BasketDatabase:
+    rng = random.Random(seed)
+    density = rng.uniform(0.1, 0.7)
+    baskets = [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(n_baskets)
+    ]
+    return BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+
+
+class TestCountCellsBlocked:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6])
+    def test_matches_pure_python(self, k):
+        db = random_db(k, 9, 203)
+        index = db.packed_index()
+        candidates = [combo for combo in combinations(range(9), k)][:12]
+        results = count_cells_blocked(index, candidates)
+        assert len(results) == len(candidates)
+        for candidate, cells in zip(candidates, results):
+            assert cells == count_cells(db, Itemset(candidate)), candidate
+
+    def test_chunking_preserves_results(self, monkeypatch):
+        """A tiny scratch budget forces many chunks; results are unchanged."""
+        import repro.kernels.blocked as blocked
+
+        db = random_db(42, 8, 130)
+        index = db.packed_index()
+        candidates = [combo for combo in combinations(range(8), 4)]
+        whole = count_cells_blocked(index, candidates)
+        monkeypatch.setattr(blocked, "BLOCK_WORDS", 8)
+        chunked = count_cells_blocked(index, candidates)
+        assert chunked == whole
+
+    def test_empty_batch(self):
+        index = random_db(7, 4, 50).packed_index()
+        assert count_cells_blocked(index, []) == []
+
+    def test_rejects_width_beyond_cap(self):
+        db = random_db(8, BLOCKED_MAX_ITEMS + 1, 40)
+        index = db.packed_index()
+        too_wide = [tuple(range(BLOCKED_MAX_ITEMS + 1))]
+        with pytest.raises(ValueError):
+            count_cells_blocked(index, too_wide)
+
+    def test_counts_are_python_ints(self):
+        """Sparse dicts must hold plain ints (JSON/pickle friendly)."""
+        index = random_db(9, 5, 64).packed_index()
+        (cells,) = count_cells_blocked(index, [(0, 1, 2, 3)])
+        for cell, count in cells.items():
+            assert type(cell) is int and type(count) is int
+
+
+class TestMaskSupports:
+    def test_subset_support_matrix_invariants(self):
+        db = random_db(11, 7, 150)
+        index = db.packed_index()
+        ids = np.array([(0, 2, 5), (1, 3, 6)], dtype=np.intp)
+        g = mask_supports(index, ids)
+        assert g.shape == (2, 8)
+        assert (g[:, 0] == db.n_baskets).all()
+        # Monotone: adding an item to a mask can only shrink its support.
+        for mask in range(8):
+            for j in range(3):
+                if not mask & (1 << j):
+                    assert (g[:, mask | (1 << j)] <= g[:, mask]).all()
+        # Singleton masks equal the item counts.
+        for row, items in enumerate(ids.tolist()):
+            for j, item in enumerate(items):
+                assert g[row, 1 << j] == index.counts[item]
+
+    def test_empty_candidate_axis(self):
+        index = random_db(12, 4, 30).packed_index()
+        g = mask_supports(index, np.empty((0, 3), dtype=np.intp))
+        assert g.shape == (0, 8)

@@ -11,7 +11,10 @@ brute-force ``2^m``-cell enumerator that classifies each basket into
 its presence/absence cell by definition.  The parallel engine is
 additionally probed with each of its per-shard kernels (``bitmap`` and
 NumPy ``vectorized``), pinning down the parallel x vectorized
-composition.
+composition, and the forced dispatcher modes (``blocked``, ``moebius``,
+``scan``) are pinned bit-identical on probes up to ``k = 5`` and on a
+deterministic mining run that reaches levels 4-6 — the general level-k
+kernel's territory.
 
 Randomised databases come from Hypothesis when it is installed and from
 a seeded pure-``random`` generator otherwise, so the harness runs in
@@ -33,7 +36,7 @@ from repro.core.itemsets import Itemset
 from repro.data.basket import BasketDatabase
 from repro.data.datacube import CountDatacube
 from repro.fptree import FPTreePairEngine
-from repro.kernels import count_tables_vectorized
+from repro.kernels import HAS_NUMPY, KernelDispatcher, count_tables_vectorized
 from repro.measures.cellsupport import CellSupport, level1_pair_may_have_support
 from repro.parallel import ParallelCountingEngine
 
@@ -190,6 +193,12 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
     probes = list(reference[0]) + [
         Itemset(pair) for pair in combinations(range(min(n_items, 4)), 2)
     ]
+    # Wider probes exercise the general level-k kernels (k >= 4), not
+    # just the closed-form pair/triple sweeps.
+    for width in (4, 5):
+        probes.extend(
+            Itemset(combo) for combo in combinations(range(min(n_items, 5)), width)
+        )
     probes = sorted(set(probes))
     if not probes:
         return
@@ -207,6 +216,14 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
     # sweep (no candidate generation) and falls back to bitmaps above
     # level 2 — both paths are probed here.
     fptree_tables = FPTreePairEngine(db).count_tables(probes)
+    # With NumPy present, force each dispatch mode so the blocked,
+    # Möbius, and scan kernels are all pinned to the same bits.
+    forced: dict[str, dict[Itemset, ContingencyTable]] = {}
+    if HAS_NUMPY:
+        for mode in ("blocked", "moebius", "scan"):
+            forced[f"vectorized[{mode}]"] = count_tables_vectorized(
+                db, probes, dispatcher=KernelDispatcher(mode=mode)
+            )
     for probe in probes:
         expected = brute_force_cells(db, probe)
         for label, table in (
@@ -217,6 +234,7 @@ def assert_all_backends_agree(baskets: list[list[int]], n_items: int) -> None:
             ("parallel", parallel_tables[probe]),
             ("parallel x vectorized", composed_tables[probe]),
             ("fptree", fptree_tables[probe]),
+            *((label, tables[probe]) for label, tables in forced.items()),
         ):
             assert dict(table.nonzero_counts()) == expected, (label, probe)
             assert table.n == db.n_baskets, (label, probe)
@@ -268,6 +286,80 @@ def test_backends_agree_on_adversarial_shapes():
     ]
     for baskets, n_items in cases:
         assert_all_backends_agree(baskets, n_items)
+
+
+def test_deep_levels_agree_across_backends_and_kernels():
+    """All backends and forced kernels agree on a k=4..6 mining run.
+
+    Seven near-independent coin-flip items with a permissive support
+    threshold and a very strict significance cutoff keep NOTSIG full
+    through level 5, so the run genuinely counts 4-, 5- and 6-itemsets —
+    the general level-k kernel territory, past the closed-form pair and
+    triple sweeps.
+    """
+    rng = random.Random(60697)
+    baskets = [[i for i in range(7) if rng.random() < 0.5] for _ in range(120)]
+    db = BasketDatabase.from_id_baskets(baskets, n_items=7)
+    params = dict(
+        significance=0.9999999,
+        support=CellSupport(count=1, fraction=0.05),
+        max_level=6,
+    )
+
+    reference = _signature(
+        ChiSquaredSupportMiner(counting="bitmap", **params).mine(db)
+    )
+    levels = {stats.level for stats in reference[4] if stats.candidates}
+    assert {4, 5, 6} <= levels, "the run must actually reach levels 4-6"
+
+    configs = [
+        dict(counting="single_pass"),
+        dict(counting="cube"),
+        dict(counting="fptree"),
+        dict(counting="vectorized"),
+        dict(counting="parallel"),
+        dict(counting="parallel", kernel="bitmap", shared_memory="off"),
+    ]
+    if HAS_NUMPY:
+        configs.extend(
+            dict(counting="vectorized", kernel=mode)
+            for mode in ("blocked", "moebius", "scan")
+        )
+        configs.append(dict(counting="parallel", kernel="blocked", shared_memory="on"))
+    for config in configs:
+        signature = _signature(
+            ChiSquaredSupportMiner(**params, **config).mine(db)
+        )
+        assert signature == reference, config
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="autotune counters need NumPy kernels")
+def test_blocked_kernel_handles_deep_levels_without_fallback():
+    """Forcing ``kernel="blocked"`` counts every k >= 4 batch blocked.
+
+    The autotune counters record one increment per (k, path) decision;
+    a ``path="scan"`` entry for 4 <= k <= 12 would mean the general
+    kernel fell back to per-itemset scanning.
+    """
+    from repro.obs import Telemetry
+
+    rng = random.Random(60697)
+    baskets = [[i for i in range(7) if rng.random() < 0.5] for _ in range(120)]
+    db = BasketDatabase.from_id_baskets(baskets, n_items=7)
+    telemetry = Telemetry.create()
+    ChiSquaredSupportMiner(
+        significance=0.9999999,
+        support=CellSupport(count=1, fraction=0.05),
+        max_level=6,
+        counting="vectorized",
+        kernel="blocked",
+        telemetry=telemetry,
+    ).mine(db)
+    decisions = telemetry.metrics.series("kernel_autotune")
+    assert decisions, "forced-blocked mining must record autotune decisions"
+    deep = [key for key in decisions if any(f'k="{k}"' in key for k in (4, 5, 6))]
+    assert deep, "levels 4-6 must pass through the dispatcher"
+    assert all('path="blocked"' in key for key in deep), deep
 
 
 @pytest.mark.slow

@@ -164,7 +164,7 @@ class TestParallelCountingFailures:
 
         db = self._db()
         with ParallelCountingEngine(
-            db, workers=2, fallback_serial=False, task_timeout=30.0
+            db, workers=2, fallback_serial=False, task_timeout=30.0, min_parallel_batch=0
         ) as engine:
             engine.shards[0].fault = "crash"
             with pytest.raises(CountingError, match="injected crash in shard 0"):
@@ -176,7 +176,7 @@ class TestParallelCountingFailures:
 
         db = self._db()
         with ParallelCountingEngine(
-            db, workers=2, fallback_serial=False, task_timeout=0.75
+            db, workers=2, fallback_serial=False, task_timeout=0.75, min_parallel_batch=0
         ) as engine:
             engine.shards[1].fault = "hang"
             with pytest.raises(CountingError, match="task_timeout"):
@@ -186,7 +186,9 @@ class TestParallelCountingFailures:
         from repro.parallel import ParallelCountingEngine
 
         db = self._db()
-        with ParallelCountingEngine(db, workers=2, task_timeout=30.0) as engine:
+        with ParallelCountingEngine(
+            db, workers=2, task_timeout=30.0, min_parallel_batch=0
+        ) as engine:
             engine.shards[0].fault = "crash"
             tables = engine.count_tables([Itemset([0, 1])])
             assert engine.degraded
@@ -207,7 +209,9 @@ class TestParallelCountingFailures:
                 raise OSError("no semaphores in this sandbox")
 
         db = self._db()
-        with ParallelCountingEngine(db, workers=2, mp_context=BrokenContext()) as engine:
+        with ParallelCountingEngine(
+            db, workers=2, mp_context=BrokenContext(), min_parallel_batch=0
+        ) as engine:
             tables = engine.count_tables([Itemset([0, 1])])
             assert engine.degraded
             assert dict(tables[Itemset([0, 1])].nonzero_counts()) == (
@@ -223,7 +227,8 @@ class TestParallelCountingFailures:
 
         db = self._db()
         with ParallelCountingEngine(
-            db, workers=2, mp_context=BrokenContext(), fallback_serial=False
+            db, workers=2, mp_context=BrokenContext(), fallback_serial=False,
+            min_parallel_batch=0
         ) as engine:
             with pytest.raises(CountingError, match="pool could not be created"):
                 engine.count_tables([Itemset([0, 1])])
@@ -235,6 +240,107 @@ class TestParallelCountingFailures:
     def test_miner_rejects_unknown_counting(self):
         with pytest.raises(ValueError):
             ChiSquaredSupportMiner(counting="sharded")
+
+
+class TestSharedMemoryCleanup:
+    """The shared-memory segment never outlives the engine.
+
+    Every exit path — context-manager close, worker crash, task timeout
+    — must unlink the ``multiprocessing.shared_memory`` segment the
+    engine created, or segments pile up in ``/dev/shm`` across runs.
+    Leak detection is direct: attaching to the segment name after the
+    exit path must raise ``FileNotFoundError``.
+    """
+
+    def _db(self):
+        return BasketDatabase.from_id_baskets(
+            [[0, 1], [0], [1], [0, 1, 2], []] * 40, n_items=3
+        )
+
+    def _segment_name(self, engine):
+        pytest.importorskip("numpy")
+        engine.shards  # force shard construction
+        if engine._shared_index is None:
+            pytest.skip("shared-memory transport unavailable")
+        return engine._shared_index.name
+
+    @staticmethod
+    def _assert_unlinked(name):
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_unlinks_segment(self):
+        from repro.parallel import ParallelCountingEngine
+
+        engine = ParallelCountingEngine(self._db(), workers=2)
+        name = self._segment_name(engine)
+        engine.close()
+        engine.close()  # idempotent
+        self._assert_unlinked(name)
+
+    def test_context_exit_unlinks_segment(self):
+        from repro.parallel import ParallelCountingEngine
+
+        with ParallelCountingEngine(self._db(), workers=2) as engine:
+            name = self._segment_name(engine)
+        self._assert_unlinked(name)
+
+    def test_worker_crash_unlinks_segment(self):
+        from repro.parallel import ParallelCountingEngine
+
+        db = self._db()
+        with ParallelCountingEngine(
+            db, workers=2, task_timeout=30.0, min_parallel_batch=0
+        ) as engine:
+            name = self._segment_name(engine)
+            engine.shards[0].fault = "crash"
+            tables = engine.count_tables([Itemset([0, 1])])
+            assert engine.degraded
+            # The pool-failure path released the segment already, while
+            # the engine is still open and serving serially.
+            self._assert_unlinked(name)
+            assert dict(tables[Itemset([0, 1])].nonzero_counts()) == dict(
+                ContingencyTable.from_database(db, Itemset([0, 1])).nonzero_counts()
+            )
+        self._assert_unlinked(name)
+
+    @pytest.mark.slow
+    def test_timeout_unlinks_segment(self):
+        from repro.parallel import CountingError, ParallelCountingEngine
+
+        with ParallelCountingEngine(
+            self._db(),
+            workers=2,
+            fallback_serial=False,
+            task_timeout=0.75,
+            min_parallel_batch=0,
+        ) as engine:
+            name = self._segment_name(engine)
+            engine.shards[1].fault = "hang"
+            with pytest.raises(CountingError, match="task_timeout"):
+                engine.count_tables([Itemset([0, 1])])
+            self._assert_unlinked(name)
+
+    def test_shared_and_pickled_counts_identical(self):
+        from repro.parallel import ParallelCountingEngine
+
+        pytest.importorskip("numpy")
+        db = self._db()
+        targets = [Itemset([0, 1]), Itemset([0, 1, 2]), Itemset([2])]
+        with ParallelCountingEngine(
+            db, workers=2, shared_memory="on", min_parallel_batch=0
+        ) as shared_engine:
+            shared = shared_engine.count_tables(targets)
+        with ParallelCountingEngine(
+            db, workers=2, shared_memory="off", min_parallel_batch=0
+        ) as pickled_engine:
+            pickled = pickled_engine.count_tables(targets)
+        for itemset in targets:
+            assert dict(shared[itemset].nonzero_counts()) == dict(
+                pickled[itemset].nonzero_counts()
+            )
 
 
 class TestTelemetryOnErrorPaths:

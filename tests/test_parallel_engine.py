@@ -131,6 +131,7 @@ class TestTableCache:
             "hits": 1,
             "misses": 1,
             "evictions": 1,
+            "bypasses": 0,
         }
 
     def test_metrics_mirror_local_counters(self):
@@ -196,9 +197,25 @@ class TestEngine:
         db = _random_db(10)
         probes = [Itemset([a, b]) for a in range(6) for b in range(a + 1, 6)]
         with ParallelCountingEngine(db, workers=1, cache_size=4) as engine:
-            engine.count_tables(probes)
+            # Feed sub-capacity batches so every table is offered to the
+            # cache; the LRU bound still holds across batches.
+            for start in range(0, len(probes), 3):
+                engine.count_tables(probes[start : start + 3])
             assert len(engine.cache) == 4
             assert engine.cache.evictions == len(probes) - 4
+            assert engine.cache.bypasses == 0
+
+    def test_oversized_batch_bypasses_cache(self):
+        db = _random_db(10)
+        probes = [Itemset([a, b]) for a in range(6) for b in range(a + 1, 6)]
+        with ParallelCountingEngine(db, workers=1, cache_size=4) as engine:
+            tables = engine.count_tables(probes)
+            assert len(tables) == len(probes)
+            # The batch outsizes the cache: nothing cached, no evictions,
+            # the whole batch recorded as bypassed.
+            assert len(engine.cache) == 0
+            assert engine.cache.evictions == 0
+            assert engine.cache.bypasses == len(probes)
 
     def test_invalid_parameters(self):
         db = _random_db(11)
@@ -221,7 +238,9 @@ class TestEngine:
         targets = [Itemset([a, b]) for a in range(5) for b in range(a + 1, 5)]
         with ParallelCountingEngine(db, workers=1) as serial:
             expected = serial.count_tables(targets)
-        with ParallelCountingEngine(db, workers=3, task_timeout=60.0) as engine:
+        with ParallelCountingEngine(
+            db, workers=3, task_timeout=60.0, min_parallel_batch=0
+        ) as engine:
             tables = engine.count_tables(targets)
             assert engine.parallel_batches == 1
             assert engine.tasks_dispatched == len(engine.shards)
