@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint lint-json bench bench-counting bench-mine bench-mine-smoke examples docs-check all
+.PHONY: install test test-fast test-all lint lint-strict lint-json lint-sarif bench bench-counting bench-mine bench-mine-smoke examples docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,14 +20,26 @@ test-fast:
 test-all:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest tests/ -q
 
-# replint: the project's AST-based invariant checker (see
+# replint: the project's semantic invariant checker (see
 # docs/static_analysis.md).  Exits non-zero on any violation or on an
 # undocumented/stale suppression; stdlib-only, so it runs everywhere.
+# Incremental by default (.replint-cache.json, gitignored): a warm tree
+# pays only for what changed.
 lint:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis
 
+# The CI gate: no cache (a fresh runner has none to trust) and strict
+# suppression hygiene.
+lint-strict:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis --no-cache --strict
+
 lint-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis --format json
+
+# SARIF 2.1.0 for GitHub code scanning (CI uploads replint.sarif).
+lint-sarif:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro.analysis --no-cache --format sarif > replint.sarif || true
+	@echo "wrote replint.sarif"
 
 bench: bench-counting
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

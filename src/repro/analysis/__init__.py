@@ -21,7 +21,12 @@ from repro.analysis.framework import (
     lint,
     register,
 )
-from repro.analysis.reporters import render_json, render_rule_list, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 __all__ = [
     "META_RULE_ID",
@@ -35,5 +40,6 @@ __all__ = [
     "register",
     "render_json",
     "render_rule_list",
+    "render_sarif",
     "render_text",
 ]

@@ -1,4 +1,10 @@
-"""Small AST helpers shared by the replint rules."""
+"""Small AST helpers shared by the replint rules.
+
+Besides the generic name/literal helpers, this module hosts the
+container-kind inference (which expressions denote sets and dicts, and
+therefore iterate in no canonical order) that both the intra-procedural
+RPR003 and the cross-function RPR010 build on.
+"""
 
 from __future__ import annotations
 
@@ -6,11 +12,35 @@ import ast
 from collections.abc import Iterator
 
 __all__ = [
+    "DICT_TYPES",
+    "EMIT_METHODS",
+    "SET_TYPES",
+    "SUM_FUNCTIONS",
+    "accumulates",
+    "annotation_kind",
     "call_name",
     "constant_strings",
     "function_scopes",
+    "infer_kinds",
+    "is_int_literal",
+    "scope_statements",
+    "unordered_reason",
     "unwrap_transparent",
+    "value_kind",
 ]
+
+SET_TYPES = {"set", "frozenset", "Set", "AbstractSet", "MutableSet", "FrozenSet"}
+DICT_TYPES = {
+    "dict",
+    "Dict",
+    "Mapping",
+    "MutableMapping",
+    "DefaultDict",
+    "defaultdict",
+    "Counter",
+}
+SUM_FUNCTIONS = {"sum", "fsum", "math.fsum"}
+EMIT_METHODS = {"append", "extend", "insert"}
 
 
 def call_name(node: ast.expr) -> str | None:
@@ -57,3 +87,124 @@ def unwrap_transparent(node: ast.expr) -> ast.expr:
     ):
         node = node.args[0]
     return node
+
+
+# -- container-kind inference -------------------------------------------------
+
+
+def annotation_kind(annotation: ast.expr | None) -> str | None:
+    """``"set"``/``"dict"`` when an annotation names an unordered container."""
+    if annotation is None:
+        return None
+    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    name = call_name(base)
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    if last in SET_TYPES:
+        return "set"
+    if last in DICT_TYPES:
+        return "dict"
+    return None
+
+
+def value_kind(value: ast.expr | None) -> str | None:
+    """``"set"``/``"dict"`` when an expression builds an unordered container."""
+    if value is None:
+        return None
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, ast.Call):
+        name = call_name(value.func)
+        if name is not None:
+            last = name.split(".")[-1]
+            if last in ("set", "frozenset"):
+                return "set"
+            if last in ("dict", "defaultdict", "Counter"):
+                return "dict"
+    return None
+
+
+def scope_statements(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Lambda):
+                continue
+            stack.append(child)
+
+
+def infer_kinds(
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Variable name -> ``"set"``/``"dict"`` from annotations and assignments."""
+    kinds: dict[str, str] = {}
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            kind = annotation_kind(arg.annotation)
+            if kind:
+                kinds[arg.arg] = kind
+    for node in scope_statements(scope.body):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            kind = annotation_kind(node.annotation) or value_kind(node.value)
+            if kind:
+                kinds[node.target.id] = kind
+        elif isinstance(node, ast.Assign):
+            kind = value_kind(node.value)
+            if kind:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        kinds[target.id] = kind
+    return kinds
+
+
+def unordered_reason(expr: ast.expr, kinds: dict[str, str]) -> str | None:
+    """A human description of why ``expr`` iterates in no canonical order."""
+    expr = unwrap_transparent(expr)
+    direct = value_kind(expr)
+    if direct == "set" or isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set expression"
+    if isinstance(expr, ast.Name):
+        kind = kinds.get(expr.id)
+        if kind == "set":
+            return f"set {expr.id!r}"
+        if kind == "dict":
+            return f"dict {expr.id!r} (caller-dependent insertion order)"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("keys", "values", "items")
+        and isinstance(expr.func.value, ast.Name)
+        and kinds.get(expr.func.value.id) == "dict"
+    ):
+        owner = expr.func.value.id
+        return f"dict {owner!r}.{expr.func.attr}() (caller-dependent insertion order)"
+    return None
+
+
+def is_int_literal(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and type(expr.value) is int
+
+
+def accumulates(body: list[ast.stmt]) -> bool:
+    """Whether a loop body accumulates via ``+=``-style ops or emission."""
+    for node in scope_statements(body):
+        if isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+        ):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in EMIT_METHODS
+        ):
+            return True
+    return False

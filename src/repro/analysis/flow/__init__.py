@@ -1,0 +1,16 @@
+"""Intra-procedural control- and data-flow for replint's semantic rules.
+
+* :mod:`repro.analysis.flow.cfg` — a statement-level control-flow graph
+  per function, with explicit normal edges (branches, loops, returns,
+  raises, break/continue) and *structural* exception information: each
+  node knows the ``try`` statements and ``with`` blocks enclosing it,
+  which is what the leak rule needs to reason about exception edges
+  without modelling every possible raise site as a graph edge.
+* :mod:`repro.analysis.flow.dataflow` — reaching definitions over that
+  CFG (a standard forward worklist analysis).
+"""
+
+from repro.analysis.flow.cfg import CFG, CFGNode, build_cfg
+from repro.analysis.flow.dataflow import reaching_definitions
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "reaching_definitions"]

@@ -1,0 +1,224 @@
+"""A statement-level control-flow graph for one function body.
+
+Nodes are statements (compound statements contribute a *header* node
+for their test/iterator/context expression, then their bodies hang off
+it); edges are the normal control-flow successors.  ``entry`` and
+``exit`` are synthetic: ``exit`` is reached by every ``return`` and by
+falling off the end, ``raise_exit`` by every explicit ``raise`` that no
+lexically enclosing handler region absorbs.
+
+Exception flow is modelled two ways, matching how the rules consume it:
+
+* **edges into handlers** — every node inside a ``try`` body gets an
+  edge to each of its handlers (an exception can interrupt any
+  statement), so path reachability sees the handler paths;
+* **structural protection** — every node records the ``try``
+  statements lexically enclosing it and which region of each it sits
+  in (:attr:`CFGNode.enclosing_trys`).  A rule asking "if this
+  statement raises, does cleanup still run?" checks those frames for a
+  ``finally`` (or handler) that performs the cleanup — far more robust
+  than trying to materialise an edge for every potential raise.
+
+The graph is deliberately conservative where Python is dynamic: a
+``while`` header can always exit the loop, a ``for`` can run zero
+times, exceptions can occur at any statement of a ``try`` body.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "CFGNode", "TryFrame", "build_cfg"]
+
+
+@dataclass(frozen=True)
+class TryFrame:
+    """One ``try`` statement enclosing a node, with the region it is in.
+
+    ``region`` is ``"body"`` (handlers and finally both apply),
+    ``"orelse"`` (only finally applies), ``"handler"`` or
+    ``"finally"`` (only *outer* trys apply).
+    """
+
+    statement: ast.Try
+    region: str
+
+
+@dataclass(eq=False)  # identity semantics: nodes live in sets and edge lists
+class CFGNode:
+    """One statement (or synthetic entry/exit) in the graph."""
+
+    stmt: ast.stmt | None
+    kind: str = "stmt"  # "stmt" | "entry" | "exit" | "raise"
+    succs: list["CFGNode"] = field(default_factory=list)
+    preds: list["CFGNode"] = field(default_factory=list)
+    enclosing_trys: tuple[TryFrame, ...] = ()
+
+    @property
+    def lineno(self) -> int:
+        return self.stmt.lineno if self.stmt is not None else 0
+
+    def link(self, succ: "CFGNode") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.kind if self.stmt is None else type(self.stmt).__name__
+        return f"CFGNode({label}@{self.lineno})"
+
+
+class CFG:
+    """The graph for one function: entry, exit, raise-exit, all nodes."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.entry = CFGNode(None, kind="entry")
+        self.exit = CFGNode(None, kind="exit")
+        self.raise_exit = CFGNode(None, kind="raise")
+        self.nodes: list[CFGNode] = [self.entry, self.exit, self.raise_exit]
+        self._by_stmt: dict[int, CFGNode] = {}
+
+    def node_of(self, stmt: ast.stmt) -> CFGNode | None:
+        """The node created for ``stmt`` (header node for compounds)."""
+        return self._by_stmt.get(id(stmt))
+
+    def _new_node(self, stmt: ast.stmt, trys: tuple[TryFrame, ...]) -> CFGNode:
+        node = CFGNode(stmt, enclosing_trys=trys)
+        self.nodes.append(node)
+        self._by_stmt[id(stmt)] = node
+        return node
+
+
+class _LoopFrame:
+    """Collects break targets and the continue destination for one loop."""
+
+    def __init__(self, header: CFGNode) -> None:
+        self.header = header
+        self.breaks: list[CFGNode] = []
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of one function definition."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    dangling = builder.block(func.body, [cfg.entry], trys=(), loops=[])
+    for node in dangling:
+        node.link(cfg.exit)
+    return cfg
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+
+    def block(
+        self,
+        statements: list[ast.stmt],
+        preds: list[CFGNode],
+        trys: tuple[TryFrame, ...],
+        loops: list[_LoopFrame],
+    ) -> list[CFGNode]:
+        """Wire ``statements`` after ``preds``; return the dangling exits."""
+        current = preds
+        for statement in statements:
+            if not current:
+                break  # unreachable code after return/raise/break
+            current = self.statement(statement, current, trys, loops)
+        return current
+
+    def statement(
+        self,
+        stmt: ast.stmt,
+        preds: list[CFGNode],
+        trys: tuple[TryFrame, ...],
+        loops: list[_LoopFrame],
+    ) -> list[CFGNode]:
+        node = self.cfg._new_node(stmt, trys)
+        for pred in preds:
+            pred.link(node)
+
+        if isinstance(stmt, ast.Return):
+            node.link(self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._raise_edges(node, trys)
+            return []
+        if isinstance(stmt, ast.Break):
+            if loops:
+                loops[-1].breaks.append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                node.link(loops[-1].header)
+            return []
+        if isinstance(stmt, ast.If):
+            then_exits = self.block(stmt.body, [node], trys, loops)
+            if stmt.orelse:
+                else_exits = self.block(stmt.orelse, [node], trys, loops)
+            else:
+                else_exits = [node]  # the false branch falls through
+            return then_exits + else_exits
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            frame = _LoopFrame(node)
+            body_exits = self.block(stmt.body, [node], trys, [*loops, frame])
+            for tail in body_exits:
+                tail.link(node)  # back edge
+            after: list[CFGNode] = [node, *frame.breaks]
+            if stmt.orelse:
+                after = self.block(stmt.orelse, [node], trys, loops) + frame.breaks
+            return after
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(stmt.body, [node], trys, loops)
+        if isinstance(stmt, ast.Try):
+            return self._try_statement(stmt, node, trys, loops)
+        # Simple statement: falls through.
+        return [node]
+
+    def _raise_edges(self, node: CFGNode, trys: tuple[TryFrame, ...]) -> None:
+        """A raise goes to the innermost enclosing handlers, else out."""
+        for frame in reversed(trys):
+            if frame.region == "body" and frame.statement.handlers:
+                for handler in frame.statement.handlers:
+                    target = self.cfg.node_of(handler.body[0]) if handler.body else None
+                    if target is not None:
+                        node.link(target)
+                return
+        node.link(self.cfg.raise_exit)
+
+    def _try_statement(
+        self,
+        stmt: ast.Try,
+        node: CFGNode,
+        trys: tuple[TryFrame, ...],
+        loops: list[_LoopFrame],
+    ) -> list[CFGNode]:
+        body_trys = (*trys, TryFrame(stmt, "body"))
+        before = len(self.cfg.nodes)
+        body_exits = self.block(stmt.body, [node], body_trys, loops)
+        body_nodes = self.cfg.nodes[before:]
+
+        handler_exits: list[CFGNode] = []
+        handler_trys = (*trys, TryFrame(stmt, "handler"))
+        for handler in stmt.handlers:
+            # An exception can interrupt any statement of the body, so
+            # every body node is a predecessor of the handler.
+            sources = body_nodes or [node]
+            exits = self.block(handler.body, list(sources), handler_trys, loops)
+            handler_exits.extend(exits)
+
+        orelse_trys = (*trys, TryFrame(stmt, "orelse"))
+        orelse_exits = (
+            self.block(stmt.orelse, body_exits, orelse_trys, loops)
+            if stmt.orelse
+            else body_exits
+        )
+
+        if stmt.finalbody:
+            finally_trys = (*trys, TryFrame(stmt, "finally"))
+            sources = orelse_exits + handler_exits
+            if not sources:
+                sources = [node]  # every path raised/returned; finally still runs
+            return self.block(stmt.finalbody, sources, finally_trys, loops)
+        return orelse_exits + handler_exits

@@ -1,0 +1,104 @@
+"""Reaching definitions over the statement CFG.
+
+A *definition* is any statement that binds a name: assignments,
+augmented/annotated assignments, ``for`` targets, ``with ... as``
+items, and the function's own parameters (attributed to the entry
+node).  The analysis is the textbook forward may-analysis: a
+definition of ``v`` at node ``d`` reaches node ``n`` if some CFG path
+from ``d`` to ``n`` has no intervening redefinition of ``v``.
+
+Rules use this to walk a variable back to the call that produced it —
+"which acquisition does ``pool`` name at this submission site?" —
+without pretending to be a full interpreter.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow.cfg import CFG, CFGNode
+
+__all__ = ["definitions_in", "reaching_definitions"]
+
+
+def definitions_in(stmt: ast.stmt) -> frozenset[str]:
+    """Names the statement (re)binds, compound headers included."""
+    names: set[str] = set()
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            names.update(_target_names(target))
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        names.update(_target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names.update(_target_names(item.optional_vars))
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        names.add(stmt.name)
+    return frozenset(names)
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()  # attribute/subscript targets bind no local name
+
+
+def reaching_definitions(cfg: CFG) -> dict[CFGNode, dict[str, frozenset[CFGNode]]]:
+    """For each node: variable -> the definition nodes reaching its *entry*.
+
+    The function's parameters count as definitions at ``cfg.entry``.
+    """
+    params: set[str] = set()
+    args = cfg.func.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        params.add(arg.arg)
+    if args.vararg is not None:
+        params.add(args.vararg.arg)
+    if args.kwarg is not None:
+        params.add(args.kwarg.arg)
+
+    gen: dict[CFGNode, frozenset[str]] = {}
+    for node in cfg.nodes:
+        if node is cfg.entry:
+            gen[node] = frozenset(params)
+        elif node.stmt is not None:
+            gen[node] = definitions_in(node.stmt)
+        else:
+            gen[node] = frozenset()
+
+    # in[n] = union over preds p of out[p]; out[n] = gen[n] at n union
+    # (in[n] minus kills).  A node kills every older def of the names it
+    # generates.
+    in_sets: dict[CFGNode, dict[str, frozenset[CFGNode]]] = {
+        node: {} for node in cfg.nodes
+    }
+    out_sets: dict[CFGNode, dict[str, frozenset[CFGNode]]] = {
+        node: {} for node in cfg.nodes
+    }
+
+    worklist = list(cfg.nodes)
+    while worklist:
+        node = worklist.pop()
+        merged: dict[str, set[CFGNode]] = {}
+        for pred in node.preds:
+            for var, defs in out_sets[pred].items():
+                merged.setdefault(var, set()).update(defs)
+        new_in = {var: frozenset(defs) for var, defs in merged.items()}
+        new_out = dict(new_in)
+        for var in gen[node]:
+            new_out[var] = frozenset([node])
+        if new_in != in_sets[node] or new_out != out_sets[node]:
+            in_sets[node] = new_in
+            out_sets[node] = new_out
+            worklist.extend(node.succs)
+    return in_sets

@@ -1,20 +1,28 @@
-"""replint — the project's AST-based invariant checker.
+"""replint — the project's semantic invariant checker.
 
 The miner's guarantees rest on invariants the type system cannot see:
 bit-identical contingency tables across all counting backends, canonical
-float summation order, and a pure-Python core that degrades gracefully
-when NumPy is absent.  ``replint`` encodes those invariants as lint
-rules over the syntax tree, so a regression is caught at review time
+float summation order, a pure-Python core that degrades gracefully when
+NumPy is absent, and parallel machinery that never leaks shared-memory
+segments or ships fork-unsafe state to workers.  ``replint`` encodes
+those invariants as lint rules over the syntax tree *and* over a
+project-wide semantic model, so a regression is caught at review time
 instead of deep inside a differential test failure.
 
-Architecture:
+Architecture (bottom to top):
 
+* :class:`LintModule` — one parsed file plus its suppression directives.
+* :class:`~repro.analysis.model.ProjectModel` — the whole-project view:
+  symbol table, import graph, approximate call graph, and per-function
+  control-flow graphs with reaching definitions
+  (:mod:`repro.analysis.model`, :mod:`repro.analysis.flow`).
 * :class:`Rule` — one invariant check.  Module-scope rules see one
-  parsed file (:class:`LintModule`); project-scope rules see every file
-  at once (for cross-file drift checks).  Rules self-register into
-  :data:`REGISTRY` via the :func:`register` decorator.
-* :func:`lint` — walks a file tree, parses each module once, runs every
-  applicable rule, applies suppressions, and returns a
+  file (plus the project model for cross-file context); project-scope
+  rules see only the model.  Rules self-register into :data:`REGISTRY`
+  via the :func:`register` decorator.
+* :func:`lint` — walks a file tree, parses each module once, builds the
+  project model, runs every applicable rule (consulting the incremental
+  cache when one is given), applies suppressions, and returns a
   :class:`LintReport`.
 
 Suppressions are per line::
@@ -22,10 +30,11 @@ Suppressions are per line::
     risky_line()  # replint: disable=RPR001 -- why this site is safe
 
 The ``-- justification`` clause is mandatory: a suppression without one
-(or one that no longer matches any violation) is itself reported under
-the reserved id ``RPR000``, so the tree can never silently accumulate
-undocumented or stale escapes.  The comment may also sit alone on the
-line directly above the flagged statement.
+(or one that no longer matches any violation, or one naming a rule id
+that no longer exists) is itself reported under the reserved id
+``RPR000``, so the tree can never silently accumulate undocumented or
+stale escapes.  The comment may also sit alone on the line directly
+above the flagged statement.
 """
 
 from __future__ import annotations
@@ -37,6 +46,8 @@ import tokenize
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
+
+from repro.analysis.model.project import ProjectModel
 
 __all__ = [
     "META_RULE_ID",
@@ -51,7 +62,7 @@ __all__ = [
 ]
 
 # Reserved id for problems with replint directives themselves
-# (undocumented or stale suppressions, unparseable files).
+# (undocumented, stale, or unknown-rule suppressions, unparseable files).
 META_RULE_ID = "RPR000"
 
 _SUPPRESS_RE = re.compile(
@@ -100,14 +111,21 @@ class Suppression:
 
 
 class LintModule:
-    """One parsed source file plus its replint directives."""
+    """One parsed source file plus its replint directives.
 
-    def __init__(self, path: Path, rel_path: str, source: str) -> None:
+    ``parse=False`` builds a lightweight view (suppressions only, no
+    AST) — the incremental cache uses it on full-cache hits where no
+    rule will run but suppression bookkeeping still must.
+    """
+
+    def __init__(self, path: Path, rel_path: str, source: str, parse: bool = True) -> None:
         self.path = path
         self.rel_path = rel_path
         self.source = source
         self.lines = source.splitlines()
-        self.tree = ast.parse(source, filename=rel_path)
+        self.tree: ast.Module = (
+            ast.parse(source, filename=rel_path) if parse else None  # type: ignore[assignment]
+        )
         self.suppressions = _collect_suppressions(source)
 
     def suppression_for(self, line: int, rule: str) -> Suppression | None:
@@ -158,16 +176,24 @@ class Rule:
 
     Subclasses set ``id``/``name``/``rationale`` and implement
     :meth:`check_module` (scope ``"module"``) or :meth:`check_project`
-    (scope ``"project"``, for cross-file consistency).  ``dir_scope``
-    restricts a rule to tree-relative path prefixes; files passed to the
-    linter explicitly (not discovered by a directory walk) bypass the
-    restriction so fixtures and one-off files can exercise every rule.
+    (scope ``"project"``, for cross-file consistency).  Module rules
+    receive the :class:`~repro.analysis.model.ProjectModel` alongside
+    their file; rules whose verdict on a file can change when *other*
+    files change must set ``cacheable = False`` so the incremental
+    cache re-runs them on any project change.
+
+    ``dir_scope`` restricts a rule to tree-relative path prefixes;
+    ``dir_exempt`` carves exemptions out of that scope.  Files passed
+    to the linter explicitly (not discovered by a directory walk)
+    bypass the restriction so fixtures and one-off files can exercise
+    every rule.
     """
 
     id: str = ""
     name: str = ""
     rationale: str = ""
     scope: str = "module"
+    cacheable: bool = True
     dir_scope: tuple[str, ...] | None = None
     dir_exempt: tuple[str, ...] = ()
 
@@ -179,10 +205,10 @@ class Rule:
             return True
         return any(normalized.startswith(prefix) for prefix in self.dir_scope)
 
-    def check_module(self, module: LintModule) -> Iterable[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterable[Violation]:
         return ()
 
-    def check_project(self, modules: Sequence[LintModule]) -> Iterable[Violation]:
+    def check_project(self, project: ProjectModel) -> Iterable[Violation]:
         return ()
 
 
@@ -205,6 +231,7 @@ class LintReport:
 
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
+    files_reanalyzed: int = 0  # files whose module rules actually ran
 
     @property
     def clean(self) -> bool:
@@ -259,11 +286,11 @@ def _rel_path(path: Path, root: Path) -> str:
 def _resolve_rules(
     select: Iterable[str] | None, ignore: Iterable[str] | None
 ) -> list[Rule]:
-    chosen = set(select) if select is not None else set(REGISTRY)
-    chosen -= set(ignore or ())
-    unknown = chosen - set(REGISTRY)
+    unknown = (set(select or ()) | set(ignore or ())) - set(REGISTRY)
     if unknown:
         raise ValueError(f"unknown rule ids: {', '.join(sorted(unknown))}")
+    chosen = set(select) if select is not None else set(REGISTRY)
+    chosen -= set(ignore or ())
     return [REGISTRY[rule_id] for rule_id in sorted(chosen)]
 
 
@@ -272,6 +299,8 @@ def lint(
     root: Path | str | None = None,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    strict: bool = False,
+    cache_path: Path | str | None = None,
 ) -> LintReport:
     """Lint files or trees and return the full report.
 
@@ -279,39 +308,119 @@ def lint(
     Directory arguments are walked recursively with the standard
     excludes; file arguments are always linted, with every selected
     rule.  ``select``/``ignore`` filter by rule id.
+
+    ``strict`` reports stale suppressions even under ``select``/
+    ``ignore`` (normally skipped, since a narrowed run cannot tell a
+    stale directive from one whose rule simply did not run).
+
+    ``cache_path`` enables the incremental content-hash cache (see
+    :mod:`repro.analysis.incremental`): unchanged files skip their
+    module-scope rules, and the project-scope/semantic results are
+    reused when *no* file changed.  The cache only engages for full
+    default-selection runs; any ``select``/``ignore`` bypasses it.
     """
+    from repro.analysis.incremental import LintCache
+
     root = Path(root) if root is not None else Path.cwd()
     targets = [Path(p) for p in paths] if paths else [root]
     rules = _resolve_rules(select, ignore)
 
+    cache: LintCache | None = None
+    if cache_path is not None and select is None and ignore is None and paths is None:
+        # The cache models exactly one shape of run: the full default
+        # walk with every rule.  Explicit paths or narrowed selections
+        # bypass it rather than poison it.
+        cache = LintCache.load(Path(cache_path))
+
     report = LintReport()
+    raw: list[Violation] = []
     modules: list[tuple[LintModule, bool]] = []
+
+    # Pass 1: read and hash every file; decide what needs re-analysis.
+    sources: list[tuple[Path, str, str, bool]] = []  # (file, rel, source, explicit)
+    unreadable: list[Violation] = []
     for file, explicit in _iter_files(targets, root):
         rel = _rel_path(file, root)
         try:
             source = file.read_text(encoding="utf-8")
-            module = LintModule(file, rel, source)
-        except (SyntaxError, UnicodeDecodeError, OSError) as error:
-            line = getattr(error, "lineno", None) or 1
-            report.violations.append(
-                Violation(rel, int(line), 0, META_RULE_ID, f"could not parse file: {error}")
-            )
+        except (UnicodeDecodeError, OSError) as error:
+            unreadable.append(Violation(rel, 1, 0, META_RULE_ID, f"could not parse file: {error}"))
             report.files_checked += 1
             continue
-        modules.append((module, explicit))
+        sources.append((file, rel, source, explicit))
         report.files_checked += 1
+    raw.extend(unreadable)
 
-    raw: list[Violation] = []
-    for module, explicit in modules:
-        for rule in rules:
-            if rule.scope != "module" or not rule.applies_to(module.rel_path, explicit):
+    file_hashes = {rel: LintCache.content_hash(source) for _, rel, source, _ in sources}
+    tree_fresh = (
+        cache is not None
+        and not unreadable
+        and cache.tree_matches(file_hashes)
+    )
+
+    # Pass 2: parse.  On a full tree hit nothing semantic will run, so
+    # files parse lazily (suppressions only); otherwise everything
+    # parses — the project model needs every AST.
+    for file, rel, source, explicit in sources:
+        cached_entry = cache.file_entry(rel, file_hashes[rel]) if cache else None
+        if tree_fresh and cached_entry is not None:
+            module = LintModule(file, rel, source, parse=False)
+            modules.append((module, explicit))
+            raw.extend(cached_entry.violations)
+            continue
+        try:
+            module = LintModule(file, rel, source)
+        except SyntaxError as error:
+            line = getattr(error, "lineno", None) or 1
+            parse_violation = Violation(
+                rel, int(line), 0, META_RULE_ID, f"could not parse file: {error}"
+            )
+            raw.append(parse_violation)
+            if cache is not None:
+                cache.store_file(rel, file_hashes[rel], [parse_violation], parse_error=True)
+            continue
+        modules.append((module, explicit))
+
+    project = ProjectModel(
+        tuple(module for module, _ in modules if module.tree is not None), root=root
+    )
+
+    # Pass 3: module-scope rules (cache-aware per file).
+    if not tree_fresh:
+        for module, explicit in modules:
+            entry = cache.file_entry(module.rel_path, file_hashes[module.rel_path]) if cache else None
+            if entry is not None and not explicit:
+                raw.extend(entry.violations)
                 continue
-            raw.extend(rule.check_module(module))
-    project_modules = [module for module, _ in modules]
-    for rule in rules:
-        if rule.scope == "project":
-            raw.extend(rule.check_project(project_modules))
+            found: list[Violation] = []
+            for rule in rules:
+                if rule.scope != "module" or not rule.cacheable:
+                    continue
+                if rule.applies_to(module.rel_path, explicit):
+                    found.extend(rule.check_module(module, project))
+            raw.extend(found)
+            report.files_reanalyzed += 1
+            if cache is not None and not explicit:
+                cache.store_file(module.rel_path, file_hashes[module.rel_path], found)
 
+    # Pass 4: project-scope rules and non-cacheable (semantic) module
+    # rules — these see cross-file state, so any change re-runs them all.
+    if tree_fresh and cache is not None:
+        raw.extend(cache.project_violations())
+    else:
+        semantic: list[Violation] = []
+        for rule in rules:
+            if rule.scope == "project":
+                semantic.extend(rule.check_project(project))
+            elif rule.scope == "module" and not rule.cacheable:
+                for module, explicit in modules:
+                    if rule.applies_to(module.rel_path, explicit):
+                        semantic.extend(rule.check_module(module, project))
+        raw.extend(semantic)
+        if cache is not None:
+            cache.store_project(file_hashes, semantic)
+
+    # Pass 5: suppressions.
     by_rel = {module.rel_path: module for module, _ in modules}
     for violation in raw:
         module = by_rel.get(violation.path)
@@ -323,10 +432,24 @@ def lint(
             continue
         report.violations.append(violation)
 
-    # Directive hygiene: every suppression must carry a justification and
-    # must still match a violation (else it is stale and misleading).
+    # Directive hygiene: every suppression must carry a justification,
+    # name only rules that exist, and still match a violation (else it
+    # is stale and misleading).
+    check_stale = (select is None and ignore is None) or strict
     for module, _ in modules:
         for directive in module.suppressions.values():
+            unknown = directive.rules - set(REGISTRY)
+            if unknown:
+                report.violations.append(
+                    Violation(
+                        module.rel_path,
+                        directive.line,
+                        0,
+                        META_RULE_ID,
+                        "suppression names unknown rule id(s) "
+                        f"(renamed or removed?): {', '.join(sorted(unknown))}",
+                    )
+                )
             if not directive.justification:
                 report.violations.append(
                     Violation(
@@ -340,7 +463,7 @@ def lint(
                 )
             elif not directive.used:
                 suppressed_selected = directive.rules & {rule.id for rule in rules}
-                if suppressed_selected and select is None and ignore is None:
+                if suppressed_selected and check_stale:
                     report.violations.append(
                         Violation(
                             module.rel_path,
@@ -352,5 +475,7 @@ def lint(
                         )
                     )
 
+    if cache is not None:
+        cache.save()
     report.violations.sort()
     return report

@@ -1,0 +1,201 @@
+"""The incremental lint cache (``.replint-cache.json``).
+
+``make lint`` on a warm tree should cost what changed, not what exists.
+The cache keys three levels of reuse on content hashes:
+
+* **per file** — the raw violations of the *cacheable* module-scope
+  rules, keyed by the file's content hash.  An unchanged file skips
+  those rules entirely.
+* **per tree** — the raw violations of project-scope rules and of
+  non-cacheable (semantic) module rules, keyed by the hash of *every*
+  file's (path, hash) pair.  These rules see cross-file state — a
+  symbol table, the call graph — so any change anywhere invalidates
+  them, exactly as the issue demands.
+* **per linter** — everything above is guarded by a fingerprint of the
+  ``repro.analysis`` package sources themselves, so editing a rule (or
+  this file) throws the whole cache away.
+
+Raw (pre-suppression) violations are cached; suppression bookkeeping
+re-runs every time from the current sources, which keeps the
+stale-suppression check exact.  The file is JSON, gitignored, and safe
+to delete at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.framework import Violation
+
+__all__ = ["CachedFile", "LintCache"]
+
+_CACHE_VERSION = 1
+
+
+def _package_fingerprint() -> str:
+    """A hash of the analysis package's own sources.
+
+    Any edit to the linter — a rule, the framework, the model — must
+    invalidate every cached result, because the rules themselves are an
+    input to the analysis.
+    """
+    package_root = Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(source.relative_to(package_root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _violations_to_json(violations: list[Violation]) -> list[list]:
+    return [[v.path, v.line, v.col, v.rule, v.message] for v in violations]
+
+
+def _violations_from_json(payload: list) -> list[Violation]:
+    return [
+        Violation(str(path), int(line), int(col), str(rule), str(message))
+        for path, line, col, rule, message in payload
+    ]
+
+
+@dataclass
+class CachedFile:
+    """One file's cached module-rule results."""
+
+    content_hash: str
+    violations: list[Violation]
+    parse_error: bool = False
+
+
+class LintCache:
+    """Load/consult/update one cache file around a lint run."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.fingerprint = _package_fingerprint()
+        self._files: dict[str, CachedFile] = {}
+        self._tree_hash: str | None = None
+        self._project_violations: list[Violation] = []
+        self._dirty = False
+
+    @classmethod
+    def load(cls, path: Path) -> "LintCache":
+        cache = cls(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache  # absent or corrupt: start cold
+        if (
+            payload.get("version") != _CACHE_VERSION
+            or payload.get("fingerprint") != cache.fingerprint
+        ):
+            return cache  # the linter itself changed: start cold
+        try:
+            for rel, entry in payload.get("files", {}).items():
+                cache._files[rel] = CachedFile(
+                    content_hash=entry["hash"],
+                    violations=_violations_from_json(entry["violations"]),
+                    parse_error=bool(entry.get("parse_error", False)),
+                )
+            project = payload.get("project")
+            if project is not None:
+                cache._tree_hash = project["tree_hash"]
+                cache._project_violations = _violations_from_json(project["violations"])
+        except (KeyError, TypeError, ValueError):
+            return cls(path)  # malformed: start cold
+        return cache
+
+    # -- hashing --------------------------------------------------------------
+
+    @staticmethod
+    def content_hash(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def tree_hash(file_hashes: dict[str, str]) -> str:
+        digest = hashlib.sha256()
+        for rel in sorted(file_hashes):
+            digest.update(rel.encode())
+            digest.update(b"\0")
+            digest.update(file_hashes[rel].encode())
+            digest.update(b"\0")
+        return digest.hexdigest()
+
+    # -- queries --------------------------------------------------------------
+
+    def tree_matches(self, file_hashes: dict[str, str]) -> bool:
+        """Whether the whole tree is unchanged since the cached run."""
+        if self._tree_hash != self.tree_hash(file_hashes):
+            return False
+        return all(
+            rel in self._files and self._files[rel].content_hash == digest
+            for rel, digest in file_hashes.items()
+        )
+
+    def file_entry(self, rel_path: str, content_hash: str) -> CachedFile | None:
+        """The cached entry for a file, if its content is unchanged."""
+        entry = self._files.get(rel_path)
+        if entry is not None and entry.content_hash == content_hash:
+            return entry
+        return None
+
+    def project_violations(self) -> list[Violation]:
+        return list(self._project_violations)
+
+    # -- updates --------------------------------------------------------------
+
+    def store_file(
+        self,
+        rel_path: str,
+        content_hash: str,
+        violations: list[Violation],
+        parse_error: bool = False,
+    ) -> None:
+        self._files[rel_path] = CachedFile(content_hash, list(violations), parse_error)
+        self._dirty = True
+
+    def store_project(
+        self, file_hashes: dict[str, str], violations: list[Violation]
+    ) -> None:
+        self._tree_hash = self.tree_hash(file_hashes)
+        self._project_violations = list(violations)
+        # Drop entries for files that no longer exist.
+        self._files = {
+            rel: entry for rel, entry in self._files.items() if rel in file_hashes
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "files": {
+                rel: {
+                    "hash": entry.content_hash,
+                    "violations": _violations_to_json(entry.violations),
+                    **({"parse_error": True} if entry.parse_error else {}),
+                }
+                for rel, entry in sorted(self._files.items())
+            },
+            "project": (
+                {
+                    "tree_hash": self._tree_hash,
+                    "violations": _violations_to_json(self._project_violations),
+                }
+                if self._tree_hash is not None
+                else None
+            ),
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:  # replint: disable=RPR006 -- cache persistence is best-effort; a read-only tree just runs uncached next time
+            pass

@@ -1,0 +1,37 @@
+"""Project-wide semantic model for replint.
+
+Everything here is derived from the parsed :class:`~repro.analysis
+.framework.LintModule` list — no imports are executed, no code runs.
+The model is deliberately *approximate*: it resolves the name-based
+call and import structure that this codebase actually uses (module
+functions, ``self`` methods, ``import x as y`` aliases) and leaves
+anything dynamic unresolved rather than guessing.
+
+* :mod:`repro.analysis.model.symbols` — per-module symbol tables, the
+  project :class:`SymbolTable`, and the project-internal
+  :class:`ImportGraph`;
+* :mod:`repro.analysis.model.callgraph` — the approximate
+  :class:`CallGraph` over qualified function names;
+* :mod:`repro.analysis.model.project` — the :class:`ProjectModel`
+  facade the lint framework hands to rules.
+"""
+
+from repro.analysis.model.callgraph import CallGraph
+from repro.analysis.model.project import ProjectModel
+from repro.analysis.model.symbols import (
+    FunctionInfo,
+    ImportGraph,
+    ModuleSymbols,
+    SymbolTable,
+    module_name_for,
+)
+
+__all__ = [
+    "CallGraph",
+    "FunctionInfo",
+    "ImportGraph",
+    "ModuleSymbols",
+    "ProjectModel",
+    "SymbolTable",
+    "module_name_for",
+]

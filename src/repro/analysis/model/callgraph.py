@@ -1,0 +1,110 @@
+"""The approximate project call graph.
+
+One edge per syntactic call site whose callee name resolves through the
+:class:`~repro.analysis.model.symbols.SymbolTable` — local functions,
+``self`` methods, imported module functions.  Call sites that do not
+resolve to a project definition (stdlib calls, dynamic dispatch,
+attribute chains on unknown objects) are kept as *unresolved* name
+strings so rules can still pattern-match on them (e.g. "does anything
+this task calls invoke ``.close()``?").
+
+Calls made inside nested functions and lambdas are attributed to the
+enclosing top-level function or method: for the rules' purposes
+("what runs when I call f?") the nested definitions are part of f's
+behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.astutil import call_name
+from repro.analysis.model.symbols import FunctionInfo, SymbolTable
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: str  # qualified name of the enclosing function
+    callee: str | None  # qualified name when resolved, else None
+    name: str  # the dotted name as written at the call site
+    node: ast.Call
+
+
+class CallGraph:
+    """Caller -> callee edges over qualified function names."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self._callees: dict[str, set[str]] = {}
+        self._callers: dict[str, set[str]] = {}
+        self._sites: dict[str, list[CallSite]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        for module_symbols in self.symbols.per_module.values():
+            for info in module_symbols.functions.values():
+                sites = self._sites.setdefault(info.qname, [])
+                for call in self._calls_in(info.node):
+                    name = call_name(call.func)
+                    if name is None:
+                        continue
+                    resolved = self.symbols.resolve(
+                        module_symbols, name, class_name=info.class_name
+                    )
+                    callee = resolved.qname if resolved is not None else None
+                    sites.append(CallSite(info.qname, callee, name, call))
+                    if callee is not None:
+                        self._callees.setdefault(info.qname, set()).add(callee)
+                        self._callers.setdefault(callee, set()).add(info.qname)
+
+    @staticmethod
+    def _calls_in(func: ast.FunctionDef | ast.AsyncFunctionDef):
+        """Call nodes in ``func``, nested defs included, methods excluded.
+
+        Nested function bodies belong to the enclosing definition; a
+        nested *class* is its own scope and is skipped (its methods are
+        indexed separately when the class is at module level).
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.ClassDef):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- queries --------------------------------------------------------------
+
+    def callees(self, qname: str) -> frozenset[str]:
+        return frozenset(self._callees.get(qname, ()))
+
+    def callers(self, qname: str) -> frozenset[str]:
+        return frozenset(self._callers.get(qname, ()))
+
+    def call_sites(self, qname: str) -> tuple[CallSite, ...]:
+        """Every call site inside ``qname`` (resolved or not)."""
+        return tuple(self._sites.get(qname, ()))
+
+    def reachable_from(self, qname: str, max_depth: int = 8) -> frozenset[str]:
+        """Functions transitively callable from ``qname`` (BFS, bounded)."""
+        seen: set[str] = set()
+        frontier: deque[tuple[str, int]] = deque([(qname, 0)])
+        while frontier:
+            current, depth = frontier.popleft()
+            if depth >= max_depth:
+                continue
+            for callee in self._callees.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append((callee, depth + 1))
+        return frozenset(seen)
+
+    def function(self, qname: str) -> FunctionInfo | None:
+        return self.symbols.by_qname.get(qname)

@@ -1,0 +1,84 @@
+"""The :class:`ProjectModel` — what semantic rules see beside the file.
+
+One instance per lint run, built from every successfully parsed
+:class:`~repro.analysis.framework.LintModule`.  Construction is cheap
+and lazy: the symbol table, import graph, call graph and per-function
+CFGs are each computed on first use and cached, so a run that selects
+only syntactic rules never pays for the semantic machinery.
+
+Files that failed to parse simply are not in ``modules`` — the
+framework reports them as ``RPR000`` parse errors and the model
+degrades to whatever did parse, never crashing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.model.callgraph import CallGraph
+from repro.analysis.model.symbols import FunctionInfo, ImportGraph, ModuleSymbols, SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.analysis.framework import LintModule
+
+__all__ = ["ProjectModel"]
+
+
+class ProjectModel:
+    """Project-wide symbols, imports, calls, and flow graphs."""
+
+    def __init__(self, modules: "tuple[LintModule, ...]", root: "Path | None" = None) -> None:
+        self.modules = tuple(modules)
+        self.root = root
+        self._by_rel = {module.rel_path: module for module in self.modules}
+        self._symbols: SymbolTable | None = None
+        self._calls: CallGraph | None = None
+        self._cfgs: dict[int, CFG] = {}
+
+    # -- lookups --------------------------------------------------------------
+
+    def module(self, rel_path: str) -> "LintModule | None":
+        return self._by_rel.get(rel_path)
+
+    @property
+    def symbols(self) -> SymbolTable:
+        if self._symbols is None:
+            per_module: dict[str, ModuleSymbols] = {}
+            for module in self.modules:
+                per_module[module.rel_path] = ModuleSymbols.build(
+                    module.rel_path, module.tree
+                )
+            self._symbols = SymbolTable(per_module)
+        return self._symbols
+
+    @property
+    def imports(self) -> ImportGraph:
+        return self.symbols.imports
+
+    @property
+    def calls(self) -> CallGraph:
+        if self._calls is None:
+            self._calls = CallGraph(self.symbols)
+        return self._calls
+
+    def cfg(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        """The (cached) control-flow graph of one function definition."""
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            cached = self._cfgs[id(func)] = build_cfg(func)
+        return cached
+
+    def function(self, qname: str) -> FunctionInfo | None:
+        """Resolve a fully qualified function name project-wide."""
+        return self.symbols.by_qname.get(qname)
+
+    def functions_in(self, rel_path: str) -> tuple[FunctionInfo, ...]:
+        """Every function/method defined in one file."""
+        module_symbols = self.symbols.module(rel_path)
+        if module_symbols is None:
+            return ()
+        return tuple(module_symbols.functions.values())

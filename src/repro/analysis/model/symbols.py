@@ -1,0 +1,256 @@
+"""Symbol tables and the import graph.
+
+A :class:`ModuleSymbols` records what one file *defines* (functions,
+classes, methods, module-level assignments) and what it *binds from
+elsewhere* (the import alias map).  The project-wide
+:class:`SymbolTable` stitches those together so a dotted name used in
+one module can be resolved to the :class:`FunctionInfo` defining it in
+another — the foundation the call graph and the semantic rules build
+on.
+
+Resolution is purely lexical: ``import repro.parallel.shm as shm``
+makes ``shm.shard_shared_index`` resolvable, ``self.close()`` resolves
+against the enclosing class, and anything else (instance attributes of
+other classes, dynamic dispatch) is deliberately left unresolved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FunctionInfo",
+    "ImportGraph",
+    "ModuleSymbols",
+    "SymbolTable",
+    "module_name_for",
+]
+
+
+def module_name_for(rel_path: str) -> str:
+    """The dotted module name a tree-relative path denotes.
+
+    ``src/repro/parallel/shm.py`` -> ``repro.parallel.shm``;
+    ``tests/core/test_x.py`` -> ``tests.core.test_x``; package
+    ``__init__.py`` files name the package itself.
+    """
+    path = rel_path.replace("\\", "/")
+    if path.startswith("src/"):
+        path = path[len("src/"):]
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    name = path.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition, addressable project-wide."""
+
+    qname: str  # e.g. "repro.parallel.engine.ParallelCountingEngine.close"
+    module: str  # tree-relative path of the defining file
+    module_name: str  # dotted module name
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None  # enclosing class, methods only
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleSymbols:
+    """Everything one module defines and imports, by name."""
+
+    rel_path: str
+    module_name: str
+    # local name ("func" or "Class.method") -> definition
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    # local alias -> the dotted name it binds ("np" -> "numpy",
+    # "shard_shared_index" -> "repro.parallel.shm.shard_shared_index")
+    imports: dict[str, str] = field(default_factory=dict)
+    # module-level simple assignments: name -> value expression
+    module_assigns: dict[str, ast.expr] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, rel_path: str, tree: ast.Module) -> "ModuleSymbols":
+        symbols = cls(rel_path=rel_path, module_name=module_name_for(rel_path))
+        for node in tree.body:
+            symbols._add_statement(node, class_name=None)
+        return symbols
+
+    def _add_statement(self, node: ast.stmt, class_name: str | None) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local = f"{class_name}.{node.name}" if class_name else node.name
+            self.functions[local] = FunctionInfo(
+                qname=f"{self.module_name}.{local}",
+                module=self.rel_path,
+                module_name=self.module_name,
+                node=node,
+                class_name=class_name,
+            )
+        elif isinstance(node, ast.ClassDef) and class_name is None:
+            self.classes[node.name] = node
+            for statement in node.body:
+                self._add_statement(statement, class_name=node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                # "import a.b" binds "a" to package a; "import a.b as c"
+                # binds "c" to the full dotted path.
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = self._resolve_from_base(node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+        elif isinstance(node, ast.Assign) and class_name is None:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.module_assigns[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and class_name is None:
+            if isinstance(node.target, ast.Name) and node.value is not None:
+                self.module_assigns[node.target.id] = node.value
+        elif isinstance(node, (ast.Try, ast.If)) and class_name is None:
+            # Guarded imports ("try: import numpy") still bind names.
+            bodies = [node.body]
+            if isinstance(node, ast.Try):
+                bodies.extend(handler.body for handler in node.handlers)
+                bodies.extend([node.orelse, node.finalbody])
+            else:
+                bodies.append(node.orelse)
+            for body in bodies:
+                for statement in body:
+                    self._add_statement(statement, class_name=None)
+
+    def _resolve_from_base(self, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # Relative import: climb from this module's package.
+        parts = self.module_name.split(".")
+        # A module's package is everything but its own basename.
+        package_parts = parts[: len(parts) - 1] if len(parts) > 1 else parts
+        climb = node.level - 1
+        base_parts = package_parts[: len(package_parts) - climb] if climb else package_parts
+        if node.module:
+            base_parts = [*base_parts, node.module]
+        return ".".join(base_parts)
+
+
+class ImportGraph:
+    """Project-internal import edges between dotted module names."""
+
+    def __init__(self) -> None:
+        self._imports: dict[str, set[str]] = {}
+        self._importers: dict[str, set[str]] = {}
+
+    def add_edge(self, importer: str, imported: str) -> None:
+        self._imports.setdefault(importer, set()).add(imported)
+        self._importers.setdefault(imported, set()).add(importer)
+
+    def imports_of(self, module_name: str) -> frozenset[str]:
+        """Project modules ``module_name`` imports (directly)."""
+        return frozenset(self._imports.get(module_name, ()))
+
+    def importers_of(self, module_name: str) -> frozenset[str]:
+        """Project modules that import ``module_name`` (directly)."""
+        return frozenset(self._importers.get(module_name, ()))
+
+    @property
+    def modules(self) -> frozenset[str]:
+        return frozenset(self._imports) | frozenset(self._importers)
+
+
+class SymbolTable:
+    """The project-wide view: every module's symbols plus resolution."""
+
+    def __init__(self, per_module: dict[str, ModuleSymbols]) -> None:
+        # keyed by tree-relative path
+        self.per_module = per_module
+        self.by_module_name: dict[str, ModuleSymbols] = {
+            symbols.module_name: symbols for symbols in per_module.values()
+        }
+        self.by_qname: dict[str, FunctionInfo] = {}
+        for symbols in per_module.values():
+            self.by_qname.update(
+                (info.qname, info) for info in symbols.functions.values()
+            )
+        self.imports = self._build_import_graph()
+
+    def _build_import_graph(self) -> ImportGraph:
+        graph = ImportGraph()
+        known = set(self.by_module_name)
+        for symbols in self.per_module.values():
+            for target in symbols.imports.values():
+                # "repro.parallel.shm.shard_shared_index" names a symbol
+                # inside a module; walk prefixes until one is a module.
+                parts = target.split(".")
+                for stop in range(len(parts), 0, -1):
+                    candidate = ".".join(parts[:stop])
+                    if candidate in known:
+                        if candidate != symbols.module_name:
+                            graph.add_edge(symbols.module_name, candidate)
+                        break
+        return graph
+
+    def module(self, rel_path: str) -> ModuleSymbols | None:
+        return self.per_module.get(rel_path)
+
+    def resolve(
+        self,
+        symbols: ModuleSymbols,
+        dotted: str,
+        class_name: str | None = None,
+    ) -> FunctionInfo | None:
+        """Resolve a dotted name used inside ``symbols`` to its definition.
+
+        Handles local functions, ``self.method`` (against ``class_name``),
+        methods through local class names (``Engine.close``), and names
+        reached through the module's import aliases.  Returns ``None``
+        for anything dynamic.
+        """
+        parts = dotted.split(".")
+        head = parts[0]
+
+        if head == "self" and class_name is not None and len(parts) == 2:
+            return symbols.functions.get(f"{class_name}.{parts[1]}")
+        if head == "cls" and class_name is not None and len(parts) == 2:
+            return symbols.functions.get(f"{class_name}.{parts[1]}")
+
+        if len(parts) == 1:
+            found = symbols.functions.get(head)
+            if found is not None:
+                return found
+        elif head in symbols.classes:
+            found = symbols.functions.get(f"{head}.{parts[1]}")
+            if found is not None:
+                return found
+
+        # Through the import alias map: rewrite the head and look the
+        # full dotted name up project-wide.
+        target = symbols.imports.get(head)
+        if target is None:
+            # Maybe the full module path was spelled out directly.
+            return self.by_qname.get(dotted)
+        rewritten = ".".join([target, *parts[1:]]) if len(parts) > 1 else target
+        found = self.by_qname.get(rewritten)
+        if found is not None:
+            return found
+        # "from mod import Class" + "Class.method" or an aliased module
+        # with a class attribute: try inserting nothing further — one
+        # more hop through the target module's own symbols.
+        owner_parts = rewritten.split(".")
+        for stop in range(len(owner_parts) - 1, 0, -1):
+            owner = ".".join(owner_parts[:stop])
+            module = self.by_module_name.get(owner)
+            if module is not None:
+                local = ".".join(owner_parts[stop:])
+                return module.functions.get(local)
+        return None

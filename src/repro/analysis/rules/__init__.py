@@ -9,10 +9,14 @@ all it takes to extend the linter.
 from repro.analysis.rules import (  # noqa: F401 - imported for registration
     backend_drift,
     float_equality,
+    fork_safety,
     hygiene,
     no_print,
+    nondet_flow,
     numpy_guard,
     ordered_iteration,
     picklable,
+    resource_paths,
     shared_memory,
+    surface_drift,
 )

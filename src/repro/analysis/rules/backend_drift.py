@@ -14,10 +14,11 @@ whose set disagrees with the miner's (the authoritative source).
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator
 
 from repro.analysis.astutil import call_name, constant_strings
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 _MINER_FILE = "chi2support.py"
 _CLI_FILE = "cli.py"
@@ -83,8 +84,9 @@ class BackendDriftRule(Rule):
     )
     scope = "project"
 
-    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Violation]:
+    def check_project(self, project: ProjectModel) -> Iterator[Violation]:
         sources: dict[str, tuple[LintModule, list[str], int]] = {}
+        modules = project.modules
         extractors = {
             _MINER_FILE: _miner_backends,
             _CLI_FILE: _cli_backends,

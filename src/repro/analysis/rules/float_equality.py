@@ -18,6 +18,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 _SENTINELS = (0.0, 1.0)
 
@@ -52,7 +53,7 @@ class FloatEqualityRule(Rule):
         "src/repro/algorithms",
     )
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Compare):
                 continue

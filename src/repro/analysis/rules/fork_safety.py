@@ -1,0 +1,285 @@
+"""RPR011 — fork-unsafe state captured into worker tasks.
+
+The parallel engine forks (where the platform allows), and fork copies
+the parent's memory wholesale — including state that must never be
+duplicated into a child:
+
+* **locks and other synchronization primitives** — a lock held by
+  another parent thread at fork time is copied *held* and deadlocks the
+  child forever;
+* **open file handles** — parent and child now share one file offset
+  and interleave writes;
+* **tracers / telemetry bundles** — the observability contract is that
+  workers run un-instrumented (one tracer belongs to one thread of one
+  process; see ``docs/observability.md``);
+* **live SharedMemory handles** — workers must *attach by name* via a
+  picklable spec (:class:`repro.parallel.shm.SharedIndexSpec`), never
+  receive the parent's handle, whose resource-tracker registration
+  would unlink the segment when the first worker exits.
+
+The rule inspects every pool submission site (``apply_async``, ``map``,
+``submit``, …, plus ``initializer=``/``initargs=``) and flags captured
+state of those kinds, resolving each captured name three ways: local
+variables (assigned from an acquiring call in the same function),
+``self`` attributes (assigned in any method of the enclosing class),
+and module-level globals.  It then walks the *call graph* from the
+submitted task function: a task that transitively calls a function
+reading a module-global lock/handle in any project module smuggles the
+same hazard in through the back door, so those are flagged too.
+
+``cacheable = False``: the verdict on a submission site changes when
+the task's callees — usually in other files — change.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_name, function_scopes
+from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
+from repro.analysis.model.symbols import ModuleSymbols
+
+_POOL_METHODS = {
+    "apply",
+    "apply_async",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "starmap",
+    "starmap_async",
+    "submit",
+}
+
+_LOCK_CONSTRUCTORS = {
+    "Lock",
+    "RLock",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Condition",
+    "Event",
+    "Barrier",
+}
+_TRACER_CONSTRUCTORS = {"Tracer", "Telemetry"}
+
+
+def _unsafe_kind(value: ast.expr | None) -> str | None:
+    """A human label when ``value`` builds fork-unsafe state."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = call_name(value.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    last = parts[0] if len(parts) == 1 else parts[-1]
+    if last in _LOCK_CONSTRUCTORS:
+        return "synchronization primitive"
+    if name == "open":
+        return "open file handle"
+    if last == "SharedMemory":
+        return "live SharedMemory handle"
+    if last in _TRACER_CONSTRUCTORS or (
+        last == "create" and len(parts) > 1 and parts[-2] in _TRACER_CONSTRUCTORS
+    ):
+        return "tracer/telemetry bundle"
+    return None
+
+
+def _local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
+    """Local name -> unsafe kind, from assignments in this function."""
+    bindings: dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            kind = _unsafe_kind(node.value)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bindings[target.id] = kind
+    return bindings
+
+
+def _self_attr_bindings(cls: ast.ClassDef) -> dict[str, str]:
+    """``self.attr`` name -> unsafe kind, from any method of the class."""
+    bindings: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            kind = _unsafe_kind(node.value)
+            if kind is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    bindings[target.attr] = kind
+    return bindings
+
+
+def _module_global_bindings(symbols: ModuleSymbols) -> dict[str, str]:
+    bindings: dict[str, str] = {}
+    for name, value in symbols.module_assigns.items():
+        kind = _unsafe_kind(value)
+        if kind is not None:
+            bindings[name] = kind
+    return bindings
+
+
+@register
+class ForkSafetyRule(Rule):
+    id = "RPR011"
+    name = "fork-unsafe-capture"
+    rationale = (
+        "Locks, open files, tracers, and live SharedMemory handles must not "
+        "cross the fork into workers: held locks deadlock children, shared "
+        "offsets interleave writes, and attached handles unlink segments "
+        "out from under their siblings."
+    )
+    cacheable = False  # the task's callees live in other files
+
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
+        symbols = project.symbols.module(module.rel_path)
+        if symbols is None:
+            return
+        globals_map = _module_global_bindings(symbols)
+        class_of_func: dict[int, ast.ClassDef] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        class_of_func[id(child)] = node
+        for func in function_scopes(module.tree):
+            cls = class_of_func.get(id(func))
+            locals_map = _local_bindings(func)
+            attrs_map = _self_attr_bindings(cls) if cls is not None else {}
+            class_name = cls.name if cls is not None else None
+            for call in ast.walk(func):
+                if not isinstance(call, ast.Call):
+                    continue
+                submitted = self._submission_parts(call)
+                if submitted is None:
+                    continue
+                task, payload = submitted
+                for expr in payload:
+                    yield from self._check_captured(
+                        module, call, expr, locals_map, attrs_map, globals_map
+                    )
+                if task is not None:
+                    yield from self._check_task_globals(
+                        module, project, symbols, call, task, class_name
+                    )
+
+    @staticmethod
+    def _submission_parts(
+        call: ast.Call,
+    ) -> tuple[ast.expr | None, list[ast.expr]] | None:
+        """``(task callable, captured payload exprs)`` for a submission site."""
+        task: ast.expr | None = None
+        payload: list[ast.expr] = []
+        is_submission = False
+        if isinstance(call.func, ast.Attribute) and call.func.attr in _POOL_METHODS:
+            is_submission = True
+            if call.args:
+                task = call.args[0]
+                payload.extend(call.args[1:])
+            payload.extend(
+                keyword.value for keyword in call.keywords if keyword.arg is not None
+            )
+        for keyword in call.keywords:
+            if keyword.arg == "initializer":
+                is_submission = True
+                if task is None:
+                    task = keyword.value
+            elif keyword.arg == "initargs":
+                is_submission = True
+                payload.append(keyword.value)
+        if not is_submission:
+            return None
+        return task, payload
+
+    def _check_captured(
+        self,
+        module: LintModule,
+        call: ast.Call,
+        expr: ast.expr,
+        locals_map: dict[str, str],
+        attrs_map: dict[str, str],
+        globals_map: dict[str, str],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(expr):
+            kind: str | None = None
+            what = ""
+            if isinstance(node, ast.Name):
+                kind = locals_map.get(node.id) or globals_map.get(node.id)
+                what = node.id
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                kind = attrs_map.get(node.attr)
+                what = f"self.{node.attr}"
+            if kind is not None:
+                yield Violation(
+                    module.rel_path,
+                    call.lineno,
+                    call.col_offset,
+                    self.id,
+                    f"{what!r} ({kind}) is captured into a worker task; "
+                    "fork-unsafe state must stay in the parent — ship a "
+                    "picklable spec and rebuild worker-side",
+                )
+
+    def _check_task_globals(
+        self,
+        module: LintModule,
+        project: ProjectModel,
+        symbols: ModuleSymbols,
+        call: ast.Call,
+        task: ast.expr,
+        class_name: str | None,
+    ) -> Iterator[Violation]:
+        """Walk the call graph from the task: flag unsafe module globals."""
+        name = call_name(task) if not isinstance(task, ast.Lambda) else None
+        if name is None:
+            return
+        info = project.symbols.resolve(symbols, name, class_name=class_name)
+        if info is None:
+            return
+        frontier = [info.qname, *project.calls.reachable_from(info.qname)]
+        for qname in frontier:
+            callee = project.symbols.by_qname.get(qname)
+            if callee is None:
+                continue
+            callee_symbols = project.symbols.by_module_name.get(callee.module_name)
+            if callee_symbols is None:
+                continue
+            unsafe_globals = _module_global_bindings(callee_symbols)
+            if not unsafe_globals:
+                continue
+            assigned = {
+                target.id
+                for node in ast.walk(callee.node)
+                if isinstance(node, ast.Assign)
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            }
+            for node in ast.walk(callee.node):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in unsafe_globals
+                    and node.id not in assigned
+                ):
+                    yield Violation(
+                        module.rel_path,
+                        call.lineno,
+                        call.col_offset,
+                        self.id,
+                        f"task reaches {qname}(), which reads module-global "
+                        f"{node.id!r} ({unsafe_globals[node.id]}) created at "
+                        "import; the forked child inherits it live",
+                    )
+                    break

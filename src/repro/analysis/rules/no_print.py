@@ -14,6 +14,10 @@ analysis reporters exist to write to the console:
 * ``src/repro/cli.py`` and ``src/repro/__main__.py``;
 * ``src/repro/analysis/__main__.py`` (the replint CLI).
 
+Tests are held to the same bar — pytest captures stdout, so a printing
+test is a debugging leftover.  ``benchmarks/`` stay out of scope on
+purpose: they are standalone scripts whose *product* is console output.
+
 Everything else that needs to say something has ``logging`` and the
 ``repro.obs`` exporters.
 """
@@ -24,6 +28,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 
 @register
@@ -35,14 +40,14 @@ class NoPrintRule(Rule):
         "can be silenced, structured, and kept off stdout; print() is for "
         "the CLI frontends only."
     )
-    dir_scope = ("src/",)
+    dir_scope = ("src/", "tests/")
     dir_exempt = (
         "src/repro/cli.py",
         "src/repro/__main__.py",
         "src/repro/analysis/__main__.py",
     )
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         for node in ast.walk(module.tree):
             if (
                 isinstance(node, ast.Call)

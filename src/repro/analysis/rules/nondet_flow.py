@@ -1,0 +1,200 @@
+"""RPR010 — unordered containers flowing across calls into float sums.
+
+RPR003 catches ``sum(float_values)`` over a set or dict *within one
+function*: the kinds it knows come from literals, constructors, and
+annotations in the same scope.  The bug that survives RPR003 is the
+one split across a call boundary — a helper returns a set (or dict),
+and the caller, three files away, accumulates floats over it:
+
+    def occupied_cells(table):          # producer (another module)
+        return {cell for cell in ...}   # a set
+
+    total = sum(weights[c] for c in occupied_cells(t))   # consumer
+
+The iteration order — and therefore the float sum, and therefore the
+last-ulp bit pattern the backend-equivalence suite compares — now
+depends on set hashing.  This rule chases the producer through the
+project call graph: every project function gets a *returned-kind*
+verdict (set / dict / ordered / unknown, from its return annotation
+and return statements), and consumers are re-checked with variables
+bound from such calls added to the kind environment.
+
+Only call-derived kinds are reported here; anything inferable locally
+is RPR003's jurisdiction, so a violation is reported exactly once.
+The rule is ``cacheable = False``: its verdict on one file changes
+when a *producer* in another file changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import (
+    SUM_FUNCTIONS,
+    accumulates,
+    annotation_kind,
+    call_name,
+    infer_kinds,
+    is_int_literal,
+    scope_statements,
+    unwrap_transparent,
+    value_kind,
+)
+from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
+from repro.analysis.model.symbols import FunctionInfo, ModuleSymbols
+
+
+def _returned_kind(info: FunctionInfo) -> str | None:
+    """``"set"``/``"dict"`` when the function's returns are unordered.
+
+    The return annotation wins; otherwise every ``return <value>`` is
+    inspected.  A ``sorted(...)`` return is an explicit ordering and
+    clears the function even if another branch returns a set — mixed
+    returns are ambiguous enough that flagging them would be noise.
+    """
+    annotated = annotation_kind(info.node.returns)
+    if annotated is not None:
+        return annotated
+    kinds = infer_kinds(info.node)
+    verdict: str | None = None
+    for node in scope_statements(info.node.body):
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) and call_name(value.func) == "sorted":
+            return None
+        kind = value_kind(value)
+        if kind is None and isinstance(value, ast.Name):
+            kind = kinds.get(value.id)
+        if kind is not None:
+            verdict = verdict or kind
+    return verdict
+
+
+def _producer_kinds(project: ProjectModel) -> dict[str, str]:
+    """qname -> returned kind, computed once per lint run."""
+    cached = getattr(project, "_rpr010_producers", None)
+    if cached is None:
+        cached = {}
+        for qname, info in project.symbols.by_qname.items():
+            kind = _returned_kind(info)
+            if kind is not None:
+                cached[qname] = kind
+        project._rpr010_producers = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@register
+class NondeterministicFlowRule(Rule):
+    id = "RPR010"
+    name = "cross-function-unordered-flow"
+    rationale = (
+        "A float accumulation over a set/dict returned by another function "
+        "is order-nondeterministic across backends even when the consumer "
+        "file looks clean in isolation."
+    )
+    cacheable = False  # a producer edit elsewhere changes this file's verdict
+
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
+        symbols = project.symbols.module(module.rel_path)
+        if symbols is None:
+            return
+        producers = _producer_kinds(project)
+        scopes: list[tuple[ast.AST, str | None]] = [(module.tree, None)]
+        for info in symbols.functions.values():
+            scopes.append((info.node, info.class_name))
+        for scope, class_name in scopes:
+            yield from self._check_scope(
+                module, project, symbols, producers, scope, class_name
+            )
+
+    def _resolve_call(
+        self,
+        project: ProjectModel,
+        symbols: ModuleSymbols,
+        producers: dict[str, str],
+        expr: ast.expr,
+        class_name: str | None,
+    ) -> tuple[str, str] | None:
+        """``(kind, producer qname)`` when ``expr`` calls an unordered producer."""
+        expr = unwrap_transparent(expr)
+        if not isinstance(expr, ast.Call):
+            return None
+        name = call_name(expr.func)
+        if name is None:
+            return None
+        info = project.symbols.resolve(symbols, name, class_name=class_name)
+        if info is None:
+            return None
+        kind = producers.get(info.qname)
+        if kind is None:
+            return None
+        return kind, info.qname
+
+    def _check_scope(
+        self,
+        module: LintModule,
+        project: ProjectModel,
+        symbols: ModuleSymbols,
+        producers: dict[str, str],
+        scope: ast.AST,
+        class_name: str | None,
+    ) -> Iterator[Violation]:
+        body = scope.body if hasattr(scope, "body") else []
+        local_kinds = infer_kinds(scope)  # RPR003's jurisdiction
+        # Variables bound from calls into unordered producers.
+        flowed: dict[str, tuple[str, str]] = {}
+        for node in scope_statements(body):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id not in local_kinds:
+                    resolved = self._resolve_call(
+                        project, symbols, producers, node.value, class_name
+                    )
+                    if resolved is not None:
+                        flowed[target.id] = resolved
+
+        def flowed_reason(expr: ast.expr) -> str | None:
+            expr = unwrap_transparent(expr)
+            if isinstance(expr, ast.Name) and expr.id in flowed:
+                kind, producer = flowed[expr.id]
+                return f"{kind} returned by {producer}()"
+            direct = self._resolve_call(project, symbols, producers, expr, class_name)
+            if direct is not None:
+                kind, producer = direct
+                return f"{kind} returned by {producer}()"
+            return None
+
+        for node in scope_statements(body):
+            if isinstance(node, ast.Call) and call_name(node.func) in SUM_FUNCTIONS:
+                if not node.args:
+                    continue
+                argument = node.args[0]
+                if isinstance(argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+                    if is_int_literal(argument.elt):
+                        continue  # pure counting is exact in any order
+                    reason = flowed_reason(argument.generators[0].iter)
+                else:
+                    reason = flowed_reason(argument)
+                if reason:
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"order-sensitive sum over a {reason}; sort before "
+                        "summing, or return a canonical order from the producer",
+                    )
+            elif isinstance(node, ast.For):
+                reason = flowed_reason(node.iter)
+                if reason and accumulates(node.body):
+                    yield Violation(
+                        module.rel_path,
+                        node.lineno,
+                        node.col_offset,
+                        self.id,
+                        f"loop over a {reason} accumulates order-sensitively; "
+                        "iterate sorted(...) for a canonical order",
+                    )

@@ -16,6 +16,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 _GUARD_EXCEPTIONS = {"ImportError", "ModuleNotFoundError", "Exception", "BaseException"}
 
@@ -53,7 +54,7 @@ class NumpyGuardRule(Rule):
     dir_scope = ("src/",)
     dir_exempt = ("src/repro/kernels/",)
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         yield from self._scan(module, module.tree.body, guarded=False)
 
     def _scan(

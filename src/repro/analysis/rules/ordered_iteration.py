@@ -17,6 +17,10 @@ annotations (``dict[...]``, ``Mapping``, ``set[...]`` …), then flags
 * ``for`` loops over an unordered iterable whose body accumulates via
   ``+=``-style augmented assignment or ``list.append``/``extend``.
 
+This rule is intra-procedural on purpose; its cross-function twin is
+RPR010 (:mod:`repro.analysis.rules.nondet_flow`), which chases the same
+pattern through the call graph.
+
 Integer-exact accumulations the author can vouch for are suppressed
 with a justification, which is the documentation the next reader needs
 anyway.
@@ -27,133 +31,17 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from repro.analysis.astutil import call_name, unwrap_transparent
+from repro.analysis.astutil import (
+    SUM_FUNCTIONS,
+    accumulates,
+    call_name,
+    infer_kinds,
+    is_int_literal,
+    scope_statements,
+    unordered_reason,
+)
 from repro.analysis.framework import LintModule, Rule, Violation, register
-
-_SET_TYPES = {"set", "frozenset", "Set", "AbstractSet", "MutableSet", "FrozenSet"}
-_DICT_TYPES = {
-    "dict",
-    "Dict",
-    "Mapping",
-    "MutableMapping",
-    "DefaultDict",
-    "defaultdict",
-    "Counter",
-}
-_SUM_FUNCTIONS = {"sum", "fsum", "math.fsum"}
-_EMIT_METHODS = {"append", "extend", "insert"}
-
-
-def _annotation_kind(annotation: ast.expr | None) -> str | None:
-    if annotation is None:
-        return None
-    base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
-    name = call_name(base)
-    if name is None:
-        return None
-    last = name.split(".")[-1]
-    if last in _SET_TYPES:
-        return "set"
-    if last in _DICT_TYPES:
-        return "dict"
-    return None
-
-
-def _value_kind(value: ast.expr | None) -> str | None:
-    if value is None:
-        return None
-    if isinstance(value, (ast.Set, ast.SetComp)):
-        return "set"
-    if isinstance(value, (ast.Dict, ast.DictComp)):
-        return "dict"
-    if isinstance(value, ast.Call):
-        name = call_name(value.func)
-        if name is not None:
-            last = name.split(".")[-1]
-            if last in ("set", "frozenset"):
-                return "set"
-            if last in ("dict", "defaultdict", "Counter"):
-                return "dict"
-    return None
-
-
-def _scope_statements(body: list[ast.stmt]) -> Iterator[ast.AST]:
-    """Walk a scope without descending into nested function/class scopes."""
-    stack: list[ast.AST] = list(body)
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            continue
-        yield node
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.Lambda):
-                continue
-            stack.append(child)
-
-
-def _infer_kinds(scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef) -> dict[str, str]:
-    kinds: dict[str, str] = {}
-    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        args = scope.args
-        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
-            kind = _annotation_kind(arg.annotation)
-            if kind:
-                kinds[arg.arg] = kind
-    for node in _scope_statements(scope.body):
-        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-            kind = _annotation_kind(node.annotation) or _value_kind(node.value)
-            if kind:
-                kinds[node.target.id] = kind
-        elif isinstance(node, ast.Assign):
-            kind = _value_kind(node.value)
-            if kind:
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        kinds[target.id] = kind
-    return kinds
-
-
-def _unordered(expr: ast.expr, kinds: dict[str, str]) -> str | None:
-    """A human description of why ``expr`` iterates in no canonical order."""
-    expr = unwrap_transparent(expr)
-    direct = _value_kind(expr)
-    if direct == "set" or isinstance(expr, (ast.Set, ast.SetComp)):
-        return "a set expression"
-    if isinstance(expr, ast.Name):
-        kind = kinds.get(expr.id)
-        if kind == "set":
-            return f"set {expr.id!r}"
-        if kind == "dict":
-            return f"dict {expr.id!r} (caller-dependent insertion order)"
-    if (
-        isinstance(expr, ast.Call)
-        and isinstance(expr.func, ast.Attribute)
-        and expr.func.attr in ("keys", "values", "items")
-        and isinstance(expr.func.value, ast.Name)
-        and kinds.get(expr.func.value.id) == "dict"
-    ):
-        owner = expr.func.value.id
-        return f"dict {owner!r}.{expr.func.attr}() (caller-dependent insertion order)"
-    return None
-
-
-def _is_int_literal(expr: ast.expr) -> bool:
-    return isinstance(expr, ast.Constant) and type(expr.value) is int
-
-
-def _accumulates(body: list[ast.stmt]) -> bool:
-    for node in _scope_statements(body):
-        if isinstance(node, ast.AugAssign) and isinstance(
-            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
-        ):
-            return True
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in _EMIT_METHODS
-        ):
-            return True
-    return False
+from repro.analysis.model.project import ProjectModel
 
 
 @register
@@ -165,7 +53,7 @@ class OrderedIterationRule(Rule):
         "set/dict iteration order varies with the producing backend."
     )
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         scopes: list[ast.Module | ast.FunctionDef | ast.AsyncFunctionDef] = [module.tree]
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -178,18 +66,18 @@ class OrderedIterationRule(Rule):
         module: LintModule,
         scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
     ) -> Iterator[Violation]:
-        kinds = _infer_kinds(scope)
-        for node in _scope_statements(scope.body):
-            if isinstance(node, ast.Call) and call_name(node.func) in _SUM_FUNCTIONS:
+        kinds = infer_kinds(scope)
+        for node in scope_statements(scope.body):
+            if isinstance(node, ast.Call) and call_name(node.func) in SUM_FUNCTIONS:
                 if not node.args:
                     continue
                 argument = node.args[0]
                 if isinstance(argument, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
-                    if _is_int_literal(argument.elt):
+                    if is_int_literal(argument.elt):
                         continue  # counting with a literal weight is exact
-                    reason = _unordered(argument.generators[0].iter, kinds)
+                    reason = unordered_reason(argument.generators[0].iter, kinds)
                 else:
-                    reason = _unordered(argument, kinds)
+                    reason = unordered_reason(argument, kinds)
                 if reason:
                     yield Violation(
                         module.rel_path,
@@ -200,8 +88,8 @@ class OrderedIterationRule(Rule):
                         "iterate sorted(...) for a canonical summation order",
                     )
             elif isinstance(node, ast.For):
-                reason = _unordered(node.iter, kinds)
-                if reason and _accumulates(node.body):
+                reason = unordered_reason(node.iter, kinds)
+                if reason and accumulates(node.body):
                     yield Violation(
                         module.rel_path,
                         node.lineno,

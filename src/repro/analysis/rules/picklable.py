@@ -17,6 +17,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 _POOL_METHODS = {
     "apply",
@@ -53,7 +54,7 @@ class PicklableTaskRule(Rule):
         "dispatch and silently demote the engine to serial counting."
     )
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         local_names = _local_function_names(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):

@@ -1,0 +1,447 @@
+"""RPR009 — resources that escape on some control-flow path.
+
+RPR008 asks a *syntactic* question about shared-memory segments: does a
+creation site sit near any cleanup at all?  This rule asks the
+*path-sensitive* question for every owned resource the miner juggles —
+shared-memory segments, worker pools, file handles, tracer spans: is
+there a control-flow path (normal or exceptional) from the acquisition
+to the function's exit that never runs the cleanup?
+
+It walks the function's CFG (:mod:`repro.analysis.flow.cfg`):
+
+* **normal-path leak** — a path from the acquisition reaches the
+  function exit without passing a statement that closes the resource;
+* **exception-path leak** — the happy path cleans up, but a statement
+  between acquisition and cleanup can raise and no lexically enclosing
+  ``try`` runs the cleanup from its ``finally`` (or a handler), so the
+  exception edge skips it.
+
+Ownership transfers are not leaks: a resource that is returned,
+yielded, stored on ``self`` (when the class has an ownership method —
+the RPR008 convention), or deposited into a container has a new owner.
+Passing the resource as a call *argument* is borrowing, not transfer —
+``do_work(shm)`` followed by a fall-off-the-end return still leaks.
+
+Tracer spans are their own sub-case: a :class:`repro.obs.tracer.Span`
+only starts and stops its timer through the context-manager protocol,
+so a ``.span(...)`` whose result is discarded, or bound but never
+entered, records nothing and dangles in the parent's span stack.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import call_name, function_scopes
+from repro.analysis.flow.cfg import CFG, CFGNode
+from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
+
+# Resource kinds: constructor name (last dotted segment) -> a human
+# label and the method names that release the resource.
+_POOL_CONSTRUCTORS = {"Pool", "ThreadPool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
+_POOL_CLEANUPS = frozenset({"close", "terminate", "shutdown", "join"})
+_FILE_CLEANUPS = frozenset({"close"})
+_SHM_CLEANUPS = frozenset({"close", "unlink"})
+
+# Methods that conventionally own teardown for self-attribute resources
+# (the RPR008 convention, shared so the two rules agree on ownership).
+_OWNERSHIP_METHODS = {
+    "close",
+    "unlink",
+    "shutdown",
+    "release",
+    "stop",
+    "_cleanup",
+    "__exit__",
+    "__del__",
+}
+
+# Storing a resource into a container hands ownership over; merely
+# passing it as an argument does not.
+_DEPOSIT_METHODS = {"append", "add", "insert", "extend", "register", "setdefault"}
+
+
+def _acquisition(value: ast.expr) -> tuple[str, frozenset[str]] | None:
+    """``(label, cleanup methods)`` when ``value`` acquires a resource."""
+    if not isinstance(value, ast.Call):
+        return None
+    name = call_name(value.func)
+    if name is None:
+        return None
+    last = name.split(".")[-1]
+    if last == "SharedMemory":
+        for keyword in value.keywords:
+            if keyword.arg == "create":
+                constant = keyword.value
+                if isinstance(constant, ast.Constant) and constant.value is True:
+                    return "shared-memory segment", _SHM_CLEANUPS
+        return None  # attaching does not own the segment (see RPR008)
+    if name == "open":
+        return "file handle", _FILE_CLEANUPS
+    if last in _POOL_CONSTRUCTORS:
+        return "worker pool", _POOL_CLEANUPS
+    return None
+
+
+def _contains_name(expr: ast.expr | None, var: str) -> bool:
+    if expr is None:
+        return False
+    return any(
+        isinstance(node, ast.Name) and node.id == var for node in ast.walk(expr)
+    )
+
+
+def _stmt_cleans(stmt: ast.stmt, var: str, cleanups: frozenset[str]) -> bool:
+    """Whether ``stmt`` releases ``var`` (method call or ``with var``)."""
+    for node in ast.walk(stmt):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in cleanups
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == var
+        ):
+            return True
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            context = item.context_expr
+            if isinstance(context, ast.Name) and context.id == var:
+                return True
+    return False
+
+
+def _block_cleans(body: list[ast.stmt], var: str, cleanups: frozenset[str]) -> bool:
+    return any(_stmt_cleans(stmt, var, cleanups) for stmt in body)
+
+
+class _Tracked:
+    """One acquisition bound to a local name, with its CFG node."""
+
+    def __init__(
+        self,
+        var: str,
+        label: str,
+        cleanups: frozenset[str],
+        stmt: ast.stmt,
+        node: CFGNode,
+    ) -> None:
+        self.var = var
+        self.label = label
+        self.cleanups = cleanups
+        self.stmt = stmt
+        self.node = node
+
+
+@register
+class ResourcePathRule(Rule):
+    id = "RPR009"
+    name = "resource-leak-path"
+    rationale = (
+        "Shared-memory segments, pools, file handles, and tracer spans must "
+        "be released on every control-flow path; a leak on the exception "
+        "edge only shows up as /dev/shm corpses after a crash."
+    )
+
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for func in function_scopes(module.tree):
+            yield from self._check_function(module, project, func, parents)
+        yield from self._check_spans(module)
+
+    # -- path-sensitive resource tracking -------------------------------------
+
+    def _check_function(
+        self,
+        module: LintModule,
+        project: ProjectModel,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        parents: dict[ast.AST, ast.AST],
+    ) -> Iterator[Violation]:
+        cfg = project.cfg(func)
+        with_owned = self._with_context_ids(func)
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            if isinstance(stmt, ast.Expr):
+                found = _acquisition(stmt.value)
+                if found is not None and id(stmt.value) not in with_owned:
+                    label, _ = found
+                    yield Violation(
+                        module.rel_path,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        self.id,
+                        f"{label} acquired and immediately discarded; bind it "
+                        "and release it, or use a with statement",
+                    )
+                continue
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            found = _acquisition(stmt.value)
+            if found is None or id(stmt.value) in with_owned:
+                continue
+            label, cleanups = found
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            ):
+                yield from self._check_class_owned(
+                    module, func, parents, stmt, target.attr, label, cleanups
+                )
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            tracked = _Tracked(target.id, label, cleanups, stmt, node)
+            yield from self._check_tracked(module, cfg, func, tracked)
+
+    @staticmethod
+    def _with_context_ids(func: ast.AST) -> set[int]:
+        owned: set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                owned.update(id(item.context_expr) for item in node.items)
+        return owned
+
+    def _check_class_owned(
+        self,
+        module: LintModule,
+        func: ast.AST,
+        parents: dict[ast.AST, ast.AST],
+        stmt: ast.stmt,
+        attr: str,
+        label: str,
+        cleanups: frozenset[str],
+    ) -> Iterator[Violation]:
+        """``self.x = acquisition`` — the class must own the teardown."""
+        node: ast.AST | None = parents.get(func)
+        enclosing_class: ast.ClassDef | None = None
+        while node is not None:
+            if isinstance(node, ast.ClassDef):
+                enclosing_class = node
+                break
+            node = parents.get(node)
+        if enclosing_class is not None:
+            for statement in enclosing_class.body:
+                if (
+                    isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and statement.name in _OWNERSHIP_METHODS
+                    and _block_cleans_attr(statement.body, attr, cleanups)
+                ):
+                    return
+        yield Violation(
+            module.rel_path,
+            stmt.lineno,
+            stmt.col_offset,
+            self.id,
+            f"{label} stored on self.{attr} but no ownership method "
+            f"({'/'.join(sorted(_OWNERSHIP_METHODS))}) releases it",
+        )
+
+    def _check_tracked(
+        self,
+        module: LintModule,
+        cfg: CFG,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        tracked: _Tracked,
+    ) -> Iterator[Violation]:
+        if self._ownership_transferred(func, tracked):
+            return
+        cleanup_nodes = {
+            node
+            for node in cfg.nodes
+            if node.stmt is not None
+            and node is not tracked.node
+            and _stmt_cleans(node.stmt, tracked.var, tracked.cleanups)
+        }
+        leak_path = self._exit_avoiding(tracked.node, cleanup_nodes, cfg)
+        if leak_path:
+            yield Violation(
+                module.rel_path,
+                tracked.stmt.lineno,
+                tracked.stmt.col_offset,
+                self.id,
+                f"{tracked.label} {tracked.var!r} is not released on every "
+                f"path to return ({'/'.join(sorted(tracked.cleanups))} "
+                "missing on at least one branch)",
+            )
+            return
+        unprotected = self._unprotected_raiser(tracked, cleanup_nodes)
+        if unprotected is not None:
+            yield Violation(
+                module.rel_path,
+                tracked.stmt.lineno,
+                tracked.stmt.col_offset,
+                self.id,
+                f"{tracked.label} {tracked.var!r} leaks if line "
+                f"{unprotected.lineno} raises; release it from a finally "
+                "block or use a with statement",
+            )
+
+    @staticmethod
+    def _ownership_transferred(
+        func: ast.FunctionDef | ast.AsyncFunctionDef, tracked: _Tracked
+    ) -> bool:
+        """Return/yield/self-storage/container-deposit hands ownership on."""
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and _contains_name(node.value, tracked.var):
+                return True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)) and _contains_name(
+                node.value, tracked.var
+            ):
+                return True
+            if isinstance(node, ast.Assign) and node is not tracked.stmt:
+                if isinstance(node.value, ast.Name) and node.value.id == tracked.var:
+                    for target in node.targets:
+                        if isinstance(target, (ast.Attribute, ast.Subscript)):
+                            return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DEPOSIT_METHODS
+                and any(_contains_name(arg, tracked.var) for arg in node.args)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _exit_avoiding(
+        start: CFGNode, cleanup_nodes: set[CFGNode], cfg: CFG
+    ) -> bool:
+        """Whether the normal exit is reachable without passing a cleanup."""
+        seen: set[int] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            for succ in node.succs:
+                if succ in cleanup_nodes:
+                    continue
+                if succ is cfg.exit:
+                    return True
+                if succ is cfg.raise_exit:
+                    continue  # the exception edge is judged structurally
+                stack.append(succ)
+        return False
+
+    def _unprotected_raiser(
+        self, tracked: _Tracked, cleanup_nodes: set[CFGNode]
+    ) -> CFGNode | None:
+        """A node between acquisition and cleanup whose raise skips cleanup.
+
+        Any statement containing a call can raise; it is protected when
+        some lexically enclosing ``try`` (whose body it sits in) runs
+        the cleanup from its ``finally`` or a handler.
+        """
+        seen: set[int] = set()
+        stack = list(tracked.node.succs)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen or node in cleanup_nodes:
+                continue
+            seen.add(id(node))
+            stack.extend(node.succs)
+            stmt = node.stmt
+            if stmt is None or not any(
+                isinstance(inner, ast.Call) for inner in ast.walk(stmt)
+            ):
+                continue
+            if not self._raise_protected(node, tracked):
+                return node
+        return None
+
+    @staticmethod
+    def _raise_protected(node: CFGNode, tracked: _Tracked) -> bool:
+        for frame in node.enclosing_trys:
+            if frame.region not in ("body", "orelse"):
+                continue
+            statement = frame.statement
+            if _block_cleans(statement.finalbody, tracked.var, tracked.cleanups):
+                return True
+            if frame.region == "body":
+                for handler in statement.handlers:
+                    if _block_cleans(handler.body, tracked.var, tracked.cleanups):
+                        return True
+        return False
+
+    # -- tracer spans ----------------------------------------------------------
+
+    def _check_spans(self, module: LintModule) -> Iterator[Violation]:
+        """Spans must be entered: ``with tracer.span(...)`` or ``__enter__``."""
+        with_owned = self._with_context_ids(module.tree)
+        entered: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    context = item.context_expr
+                    if isinstance(context, ast.Name):
+                        entered.add(context.id)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("__enter__", "__exit__")
+                and isinstance(node.func.value, ast.Name)
+            ):
+                entered.add(node.func.value.id)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Expr) and self._is_span_call(node.value):
+                yield Violation(
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    "tracer span discarded without being entered; it records "
+                    "nothing — use 'with tracer.span(...)'",
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and self._is_span_call(node.value)
+                and id(node.value) not in with_owned
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id not in entered
+            ):
+                yield Violation(
+                    module.rel_path,
+                    node.lineno,
+                    node.col_offset,
+                    self.id,
+                    f"tracer span {node.targets[0].id!r} is never entered; "
+                    "its timer never starts — use 'with tracer.span(...)'",
+                )
+
+    @staticmethod
+    def _is_span_call(value: ast.expr) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "span"
+        )
+
+
+def _block_cleans_attr(
+    body: list[ast.stmt], attr: str, cleanups: frozenset[str]
+) -> bool:
+    """Whether any statement calls a cleanup method on ``self.<attr>``."""
+    for statement in body:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in cleanups
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == attr
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"
+            ):
+                return True
+    return False

@@ -30,6 +30,7 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.framework import LintModule, Rule, Violation, register
+from repro.analysis.model.project import ProjectModel
 
 # Method names that conventionally own resource teardown: a class that
 # creates a segment in one method and unlinks it in one of these is a
@@ -96,7 +97,7 @@ class SharedMemoryOwnershipRule(Rule):
         "leaks /dev/shm space after a crash."
     )
 
-    def check_module(self, module: LintModule) -> Iterator[Violation]:
+    def check_module(self, module: LintModule, project: ProjectModel) -> Iterator[Violation]:
         tree = module.tree
         parents: dict[ast.AST, ast.AST] = {}
         with_owned: set[int] = set()

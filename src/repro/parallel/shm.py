@@ -162,14 +162,15 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # replint: disable=RPR006 -- Python < 3.13 has no track= parameter; fall through to the register-suppression shim below
-        pass
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
+    except TypeError:
+        # Python < 3.13 has no track= parameter: suppress the tracker's
+        # register for the duration of the attach instead.
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
 
 
 def _attached_index(

@@ -1,0 +1,70 @@
+"""Fixture: every resource released on every path (RPR009-clean).
+
+One example per blessed pattern: try/finally, with statements, class
+ownership, return/yield transfer, and container deposit.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+from multiprocessing.pool import Pool
+
+
+def pack_with_finally(baskets, fill):
+    shm = SharedMemory(create=True, size=64)
+    try:
+        fill(shm, baskets)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def create_segment(size):
+    # Returning the segment transfers ownership to the caller.
+    shm = SharedMemory(create=True, size=size)
+    return shm
+
+
+def segment_pool(sizes):
+    # Depositing into a container transfers ownership to the container.
+    owned = []
+    for size in sizes:
+        shm = SharedMemory(create=True, size=size)
+        owned.append(shm)
+    return owned
+
+
+class SegmentOwner:
+    """Stores the segment on self; close() is the ownership method."""
+
+    def __init__(self, size):
+        self._shm = SharedMemory(create=True, size=size)
+
+    def close(self):
+        self._shm.close()
+        self._shm.unlink()
+
+
+def read_report(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def count_parallel(shards, work):
+    pool = Pool(4)
+    try:
+        results = pool.map(work, shards)
+    finally:
+        pool.close()
+        pool.join()
+    return results
+
+
+def time_packing(tracer, do_work):
+    with tracer.span("pack"):
+        return do_work()
+
+
+def time_mining(tracer, mine):
+    # Bound then entered: the with statement starts and stops the timer.
+    mining_span = tracer.span("mine")
+    with mining_span:
+        return mine()

@@ -1,0 +1,64 @@
+"""Fixture: resources leaked on some control-flow path (RPR009).
+
+The first function is the seeded bug from the acceptance criteria: a
+shared-memory segment handed to a helper (borrowing, not an ownership
+transfer) and then dropped on the floor — exactly the /dev/shm corpse
+the real transport guards against.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+from multiprocessing.pool import Pool
+
+
+def ship_to_worker(baskets, do_work):
+    # Seeded bug: passing the segment to do_work() is borrowing; nobody
+    # ever closes or unlinks it, on any path.
+    shm = SharedMemory(create=True, size=max(1, len(baskets)))
+    do_work(shm)
+    return len(baskets)
+
+
+def pack_then_cleanup(baskets, fill):
+    # The happy path cleans up, but fill() can raise and there is no
+    # try/finally — the exception edge skips both cleanups.
+    shm = SharedMemory(create=True, size=64)
+    fill(shm, baskets)
+    shm.close()
+    shm.unlink()
+
+
+def early_return_leak(baskets, fill):
+    # One branch returns before the cleanup runs.
+    shm = SharedMemory(create=True, size=64)
+    if not baskets:
+        return 0
+    fill(shm, baskets)
+    shm.close()
+    shm.unlink()
+    return len(baskets)
+
+
+def dump_report(report, path, render):
+    # Same exception-edge hole for a plain file handle.
+    handle = open(path, "w")
+    handle.write(render(report))
+    handle.close()
+
+
+def count_parallel(shards, work):
+    # The pool is never closed, terminated, or joined.
+    pool = Pool(4)
+    results = pool.map(work, shards)
+    return results
+
+
+def time_packing(tracer):
+    # A discarded span never starts its timer and records nothing.
+    tracer.span("pack")
+
+
+def time_mining(tracer, mine):
+    # Bound but never entered: same dangling span, one step removed.
+    mining_span = tracer.span("mine")
+    result = mine()
+    return result, mining_span

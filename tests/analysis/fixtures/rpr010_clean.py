@@ -1,0 +1,39 @@
+"""Fixture: cross-function flows with a canonical order (RPR010-clean).
+
+Either the producer sorts before returning, or the consumer sorts
+before accumulating, or the accumulation is exact in any order.
+"""
+
+
+def occupied_cells(table):
+    """Producer that returns a canonical order: cleared by sorted()."""
+    return sorted(cell for cell in table if table[cell])
+
+
+def raw_cells(table):
+    """Producer that really does return a set."""
+    return {cell for cell in table if table[cell]}
+
+
+def total_weight(table, weights):
+    # The producer already sorts, so the sum order is canonical.
+    cells = occupied_cells(table)
+    return sum(weights[cell] for cell in cells)
+
+
+def total_weight_sorted_here(table, weights):
+    # The consumer imposes the order itself.
+    return sum(weights[cell] for cell in sorted(raw_cells(table)))
+
+
+def cell_count(table):
+    # Pure counting is exact in any order.
+    return sum(1 for cell in raw_cells(table))
+
+
+def collected(table):
+    # Iteration without accumulation does not compound rounding.
+    names = []
+    for cell in sorted(raw_cells(table)):
+        names.append(str(cell))
+    return names

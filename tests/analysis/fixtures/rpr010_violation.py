@@ -1,0 +1,45 @@
+"""Fixture: unordered containers flowing across call boundaries into
+float accumulations (RPR010).
+
+Each consumer looks clean in isolation — the set is built in another
+function, so RPR003's local inference never sees it.
+"""
+
+
+def occupied_cells(table):
+    """Producer: returns a set (inferred from the comprehension)."""
+    return {cell for cell in table if table[cell]}
+
+
+def cell_weights(table):
+    """Producer: returns a dict (inferred from the literal binding)."""
+    weights = {}
+    for cell in table:
+        weights[cell] = float(table[cell])
+    return weights
+
+
+def total_weight(table, weights):
+    # The set arrives through a call; summing floats over it is
+    # hash-order-dependent.
+    cells = occupied_cells(table)
+    return sum(weights[cell] for cell in cells)
+
+
+def total_weight_inline(table, weights):
+    # Same flow without the intermediate variable.
+    return sum(weights[cell] for cell in occupied_cells(table))
+
+
+def chi2_total(table, expected):
+    # A loop that accumulates += over the flowed set.
+    total = 0.0
+    for cell in occupied_cells(table):
+        total += (table[cell] - expected[cell]) ** 2 / expected[cell]
+    return total
+
+
+def summed_weights(table):
+    # Iterating a dict returned by a callee is just as unordered.
+    weights = cell_weights(table)
+    return sum(weights[cell] for cell in weights)

@@ -1,0 +1,47 @@
+"""Fixture: fork-safe worker submissions (RPR011-clean).
+
+Workers receive only picklable specs and plain data; anything live is
+rebuilt worker-side, and parent-only state never enters a payload.
+"""
+
+import threading
+from multiprocessing.pool import Pool
+
+# Worker-side caches start empty; they are filled after the fork.
+_ATTACHED = {}
+
+
+def attach_and_count(spec):
+    handle = _ATTACHED.get(spec.name)
+    if handle is None:
+        handle = _ATTACHED[spec.name] = spec
+    return handle
+
+
+def init_worker(seed):
+    return seed
+
+
+def fan_out(pool, specs):
+    # Plain data in, plain data out.
+    return pool.map(attach_and_count, specs)
+
+
+def spin_up(n_workers, shard_ranges):
+    return Pool(n_workers, initializer=init_worker, initargs=(shard_ranges,))
+
+
+def mine_with_parent_lock(pool, shards, merge):
+    # The lock stays in the parent: it guards the merge, not the tasks.
+    lock = threading.Lock()
+    results = pool.map(attach_and_count, shards)
+    with lock:
+        return merge(results)
+
+
+class SpecEngine:
+    def __init__(self, specs):
+        self._specs = list(specs)
+
+    def run(self, pool):
+        return pool.map(attach_and_count, self._specs)

@@ -1,0 +1,54 @@
+"""Fixture: fork-unsafe state captured into worker tasks (RPR011).
+
+The first function is the seeded bug from the acceptance criteria: a
+freshly created lock shipped to workers as a task argument — fork
+copies it (possibly held), and the children deadlock.
+"""
+
+import threading
+from multiprocessing.pool import Pool
+
+_STATE_LOCK = threading.Lock()
+
+
+def count_with_lock(shard, lock):
+    with lock:
+        return len(shard)
+
+
+def mine_parallel(pool, shards):
+    # Seeded bug: the parent's lock travels in the task payload.
+    lock = threading.Lock()
+    return [pool.apply_async(count_with_lock, (shard, lock)) for shard in shards]
+
+
+def init_worker(handle):
+    return handle
+
+
+def spin_up_with_handle(path):
+    # An open file handle smuggled in through initargs: parent and
+    # children now share one file offset.
+    handle = open(path, "a")
+    return Pool(4, initializer=init_worker, initargs=(handle,))
+
+
+class InstrumentedEngine:
+    def __init__(self, path):
+        self._log = open(path, "a")
+
+    def run(self, pool, shard):
+        # A self-attribute handle captured into the payload.
+        return pool.apply_async(count_with_lock, (shard, self._log))
+
+
+def guarded_count(shard):
+    # Reads the module-global lock created at import time.
+    with _STATE_LOCK:
+        return len(shard)
+
+
+def fan_out(pool, shards):
+    # The payload is clean, but the task transitively reaches the
+    # module-global lock — the forked child inherits it live.
+    return pool.map(guarded_count, shards)

@@ -1,0 +1,17 @@
+"""Fixture CLI: every mine flag is a miner knob or presentation-only."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command")
+    mine = sub.add_parser("mine")
+    mine.add_argument("--input")
+    mine.add_argument("--json", action="store_true")
+    mine.add_argument("--significance", type=float)
+    mine.add_argument("--support-count", type=int)
+    mine.add_argument("--support-fraction", type=float)
+    mine.add_argument("--max-level", type=int)
+    mine.add_argument("--workers", type=int)
+    return parser

@@ -1,0 +1,13 @@
+"""Fixture API: every mine_correlations parameter maps to a knob."""
+
+
+def mine_correlations(
+    db,
+    significance=0.05,
+    support_count=None,
+    support_fraction=None,
+    max_level=None,
+    workers=None,
+    telemetry=None,
+):
+    return db, significance, support_count, support_fraction, max_level, workers

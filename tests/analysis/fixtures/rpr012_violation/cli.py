@@ -1,0 +1,14 @@
+"""Fixture CLI: the mine subcommand advertises a flag the miner lost."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command")
+    mine = sub.add_parser("mine")
+    mine.add_argument("--input")
+    mine.add_argument("--significance", type=float)
+    mine.add_argument("--max-level", type=int)
+    mine.add_argument("--chi2-cutoff", type=float)  # matches no miner knob
+    return parser

@@ -1,0 +1,12 @@
+"""Fixture API: mine_correlations drifted from the miner's knobs."""
+
+
+def mine_correlations(
+    db,
+    significance=0.05,
+    support_count=None,
+    support_fraction=None,
+    min_confidence=0.6,  # renamed away in the miner; crashes at dispatch
+    telemetry=None,
+):
+    return db, significance, support_count, support_fraction, min_confidence

@@ -1,0 +1,119 @@
+"""The incremental cache: reuse, invalidation, and its bypass rules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import lint
+from repro.analysis.incremental import LintCache
+
+CLEAN = "def f(x):\n    return x + 1\n"
+VIOLATING = (
+    "def remember(value, seen=[]):\n"
+    "    seen.append(value)\n"
+    "    return seen\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "alpha.py").write_text(CLEAN)
+    (tmp_path / "beta.py").write_text(VIOLATING)
+    return tmp_path
+
+
+def _run(tree, **kwargs):
+    return lint(root=tree, cache_path=tree / ".cache.json", **kwargs)
+
+
+def test_cold_run_writes_the_cache_and_warm_run_reuses_it(tree):
+    cold = _run(tree)
+    assert (tree / ".cache.json").exists()
+    assert cold.files_reanalyzed == cold.files_checked == 2
+
+    warm = _run(tree)
+    assert warm.files_checked == 2
+    assert warm.files_reanalyzed == 0
+    # Same verdict either way.
+    assert [v.render() for v in warm.violations] == [
+        v.render() for v in cold.violations
+    ]
+    assert {v.rule for v in warm.violations} == {"RPR006"}
+
+
+def test_editing_one_file_reanalyzes_only_that_file(tree):
+    _run(tree)
+    (tree / "alpha.py").write_text("def f(x):\n    return x + 2\n")
+    after = _run(tree)
+    assert after.files_reanalyzed == 1
+    assert {v.rule for v in after.violations} == {"RPR006"}
+
+    # Fixing the violating file changes the verdict on the next run.
+    (tree / "beta.py").write_text(CLEAN)
+    assert _run(tree).clean
+
+
+def test_new_and_deleted_files_invalidate_the_tree(tree):
+    _run(tree)
+    (tree / "gamma.py").write_text(CLEAN)
+    assert _run(tree).files_checked == 3
+    (tree / "gamma.py").unlink()
+    assert _run(tree).files_checked == 2
+
+
+def test_select_ignore_and_paths_bypass_the_cache(tree):
+    # None of these runs may create or consult the cache file.
+    lint(root=tree, cache_path=tree / ".cache.json", select=["RPR006"])
+    lint(root=tree, cache_path=tree / ".cache.json", ignore=["RPR001"])
+    lint(root=tree, cache_path=tree / ".cache.json", paths=[tree / "beta.py"])
+    assert not (tree / ".cache.json").exists()
+
+
+def test_corrupt_cache_file_starts_cold_without_crashing(tree):
+    (tree / ".cache.json").write_text("{ not json")
+    report = _run(tree)
+    assert report.files_reanalyzed == 2
+    # And the run rewrites it into a usable state.
+    assert _run(tree).files_reanalyzed == 0
+
+
+def test_foreign_fingerprint_is_distrusted(tree):
+    _run(tree)
+    payload = json.loads((tree / ".cache.json").read_text())
+    payload["fingerprint"] = "0" * 64
+    (tree / ".cache.json").write_text(json.dumps(payload))
+    # A cache written by a different linter version is thrown away.
+    assert _run(tree).files_reanalyzed == 2
+
+
+def test_suppression_bookkeeping_reruns_on_warm_hits(tree):
+    # Raw violations are cached pre-suppression, so a stale directive is
+    # reported on the warm run too, not just the cold one.
+    (tree / "beta.py").write_text(
+        "x = 1  # replint: disable=RPR006 -- nothing here violates anything\n"
+    )
+    cold = _run(tree)
+    assert [v.rule for v in cold.violations] == ["RPR000"]
+    warm = _run(tree)
+    assert warm.files_reanalyzed == 0
+    assert [v.rule for v in warm.violations] == ["RPR000"]
+
+
+def test_cache_round_trips_violations_exactly(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = LintCache(path)
+    from repro.analysis.framework import Violation
+
+    violation = Violation("mod.py", 3, 7, "RPR006", 'mutable default in "f"')
+    cache.store_file("mod.py", LintCache.content_hash("src"), [violation])
+    cache.store_project({"mod.py": LintCache.content_hash("src")}, [])
+    cache.save()
+
+    loaded = LintCache.load(path)
+    entry = loaded.file_entry("mod.py", LintCache.content_hash("src"))
+    assert entry is not None
+    assert [v.render() for v in entry.violations] == [violation.render()]
+    assert loaded.tree_matches({"mod.py": LintCache.content_hash("src")})
+    assert not loaded.tree_matches({"mod.py": LintCache.content_hash("edited")})

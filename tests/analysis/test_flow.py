@@ -1,0 +1,190 @@
+"""CFG construction and reaching definitions over it."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow.cfg import CFG, build_cfg
+from repro.analysis.flow.dataflow import definitions_in, reaching_definitions
+
+
+def _cfg(source: str) -> CFG:
+    tree = ast.parse(source)
+    func = next(
+        node for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    )
+    return build_cfg(func)
+
+
+def _node_at(cfg: CFG, line: int):
+    for node in cfg.nodes:
+        if node.stmt is not None and node.stmt.lineno == line:
+            return node
+    raise AssertionError(f"no CFG node at line {line}")
+
+
+# -- shapes -------------------------------------------------------------------
+
+
+def test_straight_line_links_entry_to_exit():
+    cfg = _cfg("def f(x):\n    y = x + 1\n    return y\n")
+    assign = _node_at(cfg, 2)
+    ret = _node_at(cfg, 3)
+    assert assign in cfg.entry.succs
+    assert ret in assign.succs
+    assert cfg.exit in ret.succs
+
+
+def test_if_without_else_falls_through_the_header():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"          # 2
+        "        x = x - 1\n"  # 3
+        "    return x\n"       # 4
+    )
+    header = _node_at(cfg, 2)
+    body = _node_at(cfg, 3)
+    ret = _node_at(cfg, 4)
+    # Both the taken branch and the false-branch fall-through reach return.
+    assert ret in body.succs
+    assert ret in header.succs
+
+
+def test_early_return_branch_reaches_exit_directly():
+    cfg = _cfg(
+        "def f(x):\n"
+        "    if x:\n"        # 2
+        "        return 0\n" # 3
+        "    return 1\n"     # 4
+    )
+    early = _node_at(cfg, 3)
+    assert cfg.exit in early.succs
+    assert not [s for s in early.succs if s is not cfg.exit]
+
+
+def test_loop_has_back_edge_and_break_exits():
+    cfg = _cfg(
+        "def f(items):\n"
+        "    for item in items:\n"  # 2
+        "        if item:\n"        # 3
+        "            break\n"       # 4
+        "    return items\n"        # 5
+    )
+    header = _node_at(cfg, 2)
+    test = _node_at(cfg, 3)
+    brk = _node_at(cfg, 4)
+    ret = _node_at(cfg, 5)
+    assert header in test.succs  # back edge from the non-break path
+    assert ret in brk.succs  # break jumps past the loop
+    assert ret in header.succs  # loop exhaustion
+
+
+def test_raise_without_handler_links_to_raise_exit():
+    cfg = _cfg("def f():\n    raise ValueError()\n")
+    raiser = _node_at(cfg, 2)
+    assert cfg.raise_exit in raiser.succs
+
+
+def test_try_except_makes_every_body_node_a_handler_pred():
+    cfg = _cfg(
+        "def f(action):\n"
+        "    try:\n"             # 2
+        "        a = action()\n" # 3
+        "        b = a + 1\n"    # 4
+        "    except ValueError:\n"
+        "        b = 0\n"        # 6
+        "    return b\n"         # 7
+    )
+    handler_stmt = _node_at(cfg, 6)
+    assert {n.stmt.lineno for n in handler_stmt.preds if n.stmt} == {3, 4}
+    assert _node_at(cfg, 7) in handler_stmt.succs
+
+
+def test_try_finally_frames_mark_regions():
+    cfg = _cfg(
+        "def f(shm, fill):\n"
+        "    try:\n"               # 2
+        "        fill(shm)\n"      # 3
+        "    finally:\n"
+        "        shm.close()\n"    # 5
+    )
+    body_node = _node_at(cfg, 3)
+    final_node = _node_at(cfg, 5)
+    assert [frame.region for frame in body_node.enclosing_trys] == ["body"]
+    assert [frame.region for frame in final_node.enclosing_trys] == ["finally"]
+    # The finally runs on the way out.
+    assert final_node in body_node.succs
+    assert cfg.exit in final_node.succs
+
+
+def test_code_after_return_is_unreachable():
+    cfg = _cfg("def f():\n    return 1\n    x = 2\n")
+    assert all(
+        node.stmt is None or node.stmt.lineno != 3 or not node.preds
+        for node in cfg.nodes
+    )
+
+
+# -- reaching definitions -----------------------------------------------------
+
+
+def test_definitions_in_covers_binding_forms():
+    stmts = ast.parse(
+        "a = 1\n"
+        "b += 2\n"
+        "for c in items: pass\n"
+        "with open(p) as d: pass\n"
+    ).body
+    assert definitions_in(stmts[0]) == frozenset({"a"})
+    assert definitions_in(stmts[1]) == frozenset({"b"})
+    assert definitions_in(stmts[2]) == frozenset({"c"})
+    assert definitions_in(stmts[3]) == frozenset({"d"})
+
+
+def test_params_reach_the_first_statement():
+    cfg = _cfg("def f(x, *args, **kwargs):\n    return x\n")
+    reaching = reaching_definitions(cfg)
+    at_return = reaching[_node_at(cfg, 2)]
+    assert at_return["x"] == frozenset({cfg.entry})
+    assert at_return["args"] == frozenset({cfg.entry})
+    assert at_return["kwargs"] == frozenset({cfg.entry})
+
+
+def test_redefinition_kills_the_older_definition():
+    cfg = _cfg(
+        "def f():\n"
+        "    x = 1\n"   # 2
+        "    x = 2\n"   # 3
+        "    return x\n"  # 4
+    )
+    reaching = reaching_definitions(cfg)
+    at_return = reaching[_node_at(cfg, 4)]
+    assert at_return["x"] == frozenset({_node_at(cfg, 3)})
+
+
+def test_branches_merge_both_definitions():
+    cfg = _cfg(
+        "def f(flag):\n"
+        "    if flag:\n"
+        "        x = 1\n"  # 3
+        "    else:\n"
+        "        x = 2\n"  # 5
+        "    return x\n"   # 6
+    )
+    reaching = reaching_definitions(cfg)
+    at_return = reaching[_node_at(cfg, 6)]
+    assert at_return["x"] == frozenset({_node_at(cfg, 3), _node_at(cfg, 5)})
+
+
+def test_loop_carried_definition_reaches_the_header():
+    cfg = _cfg(
+        "def f(items):\n"
+        "    total = 0\n"          # 2
+        "    for item in items:\n" # 3
+        "        total = total + item\n"  # 4
+        "    return total\n"       # 5
+    )
+    reaching = reaching_definitions(cfg)
+    at_header = reaching[_node_at(cfg, 3)]
+    # Both the initial and the loop-carried definition flow into the header.
+    assert at_header["total"] == frozenset({_node_at(cfg, 2), _node_at(cfg, 4)})

@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.analysis import lint, render_json, render_text
+from repro.analysis import lint, render_json, render_sarif, render_text
 from repro.analysis.__main__ import main
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
@@ -72,6 +72,33 @@ def test_unparseable_file_is_reported_not_crashed(tmp_path):
     assert "parse" in report.violations[0].message
 
 
+def test_suppression_naming_a_renamed_rule_is_reported_even_under_select(tmp_path):
+    # A directive whose rule id no longer exists (renamed or removed)
+    # silences nothing; it is reported regardless of --select/--ignore.
+    target = tmp_path / "renamed.py"
+    target.write_text(
+        "x = 1  # replint: disable=RPR999 -- the rule this silenced was renamed\n"
+    )
+    report = lint(paths=[target], root=tmp_path, select=["RPR001"])
+    assert [v.rule for v in report.violations] == ["RPR000"]
+    assert "renamed or removed" in report.violations[0].message
+
+
+def test_strict_reports_stale_suppressions_under_select(tmp_path):
+    target = tmp_path / "stale.py"
+    target.write_text(
+        "x = 1  # replint: disable=RPR006 -- nothing here actually violates\n"
+    )
+    # Under a plain --select the directive's rule did run and match
+    # nothing, but staleness is only reported when asked for --strict
+    # (a rule that simply did not run must not look stale).
+    relaxed = lint(paths=[target], root=tmp_path, select=["RPR006"])
+    assert relaxed.clean
+    strict = lint(paths=[target], root=tmp_path, select=["RPR006"], strict=True)
+    assert [v.rule for v in strict.violations] == ["RPR000"]
+    assert "stale" in strict.violations[0].message
+
+
 # -- reporters ----------------------------------------------------------------
 
 
@@ -91,6 +118,33 @@ def test_json_reporter_round_trips():
     assert payload["counts"]["RPR006"] == len(payload["violations"])
     first = payload["violations"][0]
     assert set(first) == {"path", "line", "col", "rule", "message"}
+
+
+def test_sarif_reporter_structure():
+    report = lint(paths=[FIXTURES / "rpr006_violation.py"], root=FIXTURES)
+    document = json.loads(render_sarif(report))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "replint"
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert "RPR000" in rule_ids  # the meta-rule is part of the catalogue
+    assert "RPR006" in rule_ids
+    assert len(run["results"]) == len(report.violations)
+    result = run["results"][0]
+    violation = report.violations[0]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == violation.path
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert location["region"]["startLine"] == violation.line
+    # SARIF columns are 1-based; Violation columns are 0-based.
+    assert location["region"]["startColumn"] == violation.col + 1
+
+
+def test_sarif_reporter_on_a_clean_report_has_no_results():
+    report = lint(paths=[FIXTURES / "rpr006_clean.py"], root=FIXTURES)
+    document = json.loads(render_sarif(report))
+    assert document["runs"][0]["results"] == []
 
 
 # -- CLI ----------------------------------------------------------------------
@@ -120,9 +174,81 @@ def test_cli_select_and_ignore(capsys):
     assert main([bad, "--root", str(FIXTURES), "--select", "RPR001"]) == 0
 
 
+def test_cli_select_and_ignore_compose(capsys):
+    # --select names the universe; --ignore subtracts from it.
+    bad = str(FIXTURES / "rpr006_violation.py")
+    assert (
+        main(
+            [
+                bad,
+                "--root",
+                str(FIXTURES),
+                "--select",
+                "RPR006,RPR007",
+                "--ignore",
+                "RPR006",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                bad,
+                "--root",
+                str(FIXTURES),
+                "--select",
+                "RPR006,RPR007",
+                "--ignore",
+                "RPR007",
+            ]
+        )
+        == 1
+    )
+    assert "RPR006" in capsys.readouterr().out
+
+
 def test_cli_unknown_rule_id_is_a_usage_error(capsys):
     assert main([str(FIXTURES), "--select", "RPR999"]) == 2
     assert "unknown rule" in capsys.readouterr().err
+    capsys.readouterr()
+    # Same contract for --ignore: a typo must not silently ignore nothing.
+    assert main([str(FIXTURES), "--ignore", "RPR999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_sarif_format(capsys):
+    bad = str(FIXTURES / "rpr006_violation.py")
+    assert main([bad, "--root", str(FIXTURES), "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["runs"][0]["tool"]["driver"]["name"] == "replint"
+    assert document["runs"][0]["results"]
+
+
+def test_cli_strict_flag(tmp_path, capsys):
+    target = tmp_path / "stale.py"
+    target.write_text(
+        "x = 1  # replint: disable=RPR006 -- nothing here actually violates\n"
+    )
+    base = [str(target), "--root", str(tmp_path), "--select", "RPR006"]
+    assert main(base) == 0
+    capsys.readouterr()
+    assert main([*base, "--strict"]) == 1
+    assert "stale" in capsys.readouterr().out
+
+
+def test_cli_default_cache_and_no_cache(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("def f(x):\n    return x\n")
+    assert main(["--root", str(tmp_path)]) == 0
+    assert (tmp_path / ".replint-cache.json").exists()
+    capsys.readouterr()
+    # The warm run reports the reuse in the summary line.
+    assert main(["--root", str(tmp_path)]) == 0
+    assert "from cache" in capsys.readouterr().out
+    (tmp_path / ".replint-cache.json").unlink()
+    assert main(["--root", str(tmp_path), "--no-cache"]) == 0
+    assert not (tmp_path / ".replint-cache.json").exists()
 
 
 def test_cli_list_rules(capsys):

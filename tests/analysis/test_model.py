@@ -1,0 +1,169 @@
+"""ProjectModel behaviour: symbols, imports, the call graph, and
+degradation when a file in the project fails to parse."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import lint
+from repro.analysis.framework import LintModule
+from repro.analysis.model.project import ProjectModel
+from repro.analysis.model.symbols import module_name_for
+
+
+def _module(rel_path: str, source: str) -> LintModule:
+    return LintModule(Path("/project") / rel_path, rel_path, source)
+
+
+def _project(**files: str) -> ProjectModel:
+    modules = tuple(
+        _module(rel_path.replace("__", "/") + ".py", source)
+        for rel_path, source in files.items()
+    )
+    return ProjectModel(modules)
+
+
+# -- naming -------------------------------------------------------------------
+
+
+def test_module_name_strips_src_and_init():
+    assert module_name_for("src/repro/parallel/shm.py") == "repro.parallel.shm"
+    assert module_name_for("tests/core/test_x.py") == "tests.core.test_x"
+    assert module_name_for("src/repro/__init__.py") == "repro"
+
+
+# -- symbol table -------------------------------------------------------------
+
+
+def test_symbols_index_functions_methods_and_globals():
+    project = _project(
+        src__pkg__mod=(
+            "LIMIT = 64\n"
+            "def top(): ...\n"
+            "class Engine:\n"
+            "    def run(self): ...\n"
+        )
+    )
+    symbols = project.symbols.module("src/pkg/mod.py")
+    assert symbols is not None
+    assert set(symbols.functions) == {"top", "Engine.run"}
+    assert "Engine" in symbols.classes
+    assert "LIMIT" in symbols.module_assigns
+    info = project.function("pkg.mod.Engine.run")
+    assert info is not None and info.class_name == "Engine"
+
+
+def test_resolve_self_method_local_function_and_import_alias():
+    project = _project(
+        src__pkg__helpers="def helper(): ...\n",
+        src__pkg__mod=(
+            "from pkg.helpers import helper as h\n"
+            "def local(): ...\n"
+            "class Engine:\n"
+            "    def run(self):\n"
+            "        return self.step()\n"
+            "    def step(self): ...\n"
+        ),
+    )
+    table = project.symbols
+    symbols = table.module("src/pkg/mod.py")
+    assert table.resolve(symbols, "local").qname == "pkg.mod.local"
+    assert (
+        table.resolve(symbols, "self.step", class_name="Engine").qname
+        == "pkg.mod.Engine.step"
+    )
+    assert table.resolve(symbols, "h").qname == "pkg.helpers.helper"
+    assert table.resolve(symbols, "Engine.step").qname == "pkg.mod.Engine.step"
+    assert table.resolve(symbols, "json.dumps") is None  # not in the project
+
+
+def test_import_graph_edges():
+    project = _project(
+        src__pkg__a="import pkg.b as b\n",
+        src__pkg__b="x = 1\n",
+    )
+    imports = project.imports
+    assert "pkg.b" in imports.imports_of("pkg.a")
+    assert "pkg.a" in imports.importers_of("pkg.b")
+
+
+# -- call graph ---------------------------------------------------------------
+
+
+def test_call_graph_resolves_across_modules_and_bounds_reachability():
+    project = _project(
+        src__pkg__low="def sink(): ...\n",
+        src__pkg__mid=(
+            "from pkg.low import sink\n"
+            "def relay():\n"
+            "    return sink()\n"
+        ),
+        src__pkg__top=(
+            "from pkg.mid import relay\n"
+            "def entry():\n"
+            "    return relay()\n"
+        ),
+    )
+    calls = project.calls
+    assert "pkg.mid.relay" in calls.callees("pkg.top.entry")
+    assert "pkg.top.entry" in calls.callers("pkg.mid.relay")
+    reachable = calls.reachable_from("pkg.top.entry")
+    assert {"pkg.mid.relay", "pkg.low.sink"} <= reachable
+    assert calls.reachable_from("pkg.top.entry", max_depth=1) == {"pkg.mid.relay"}
+
+
+def test_call_sites_keep_unresolved_names():
+    project = _project(
+        src__pkg__mod=(
+            "import json\n"
+            "def dump(payload):\n"
+            "    return json.dumps(payload)\n"
+        )
+    )
+    sites = project.calls.call_sites("pkg.mod.dump")
+    assert [site.name for site in sites] == ["json.dumps"]
+    assert sites[0].callee is None
+
+
+def test_nested_def_calls_attributed_to_enclosing_function():
+    project = _project(
+        src__pkg__mod=(
+            "def helper(): ...\n"
+            "def outer():\n"
+            "    def inner():\n"
+            "        return helper()\n"
+            "    return inner\n"
+        )
+    )
+    assert "pkg.mod.helper" in project.calls.callees("pkg.mod.outer")
+
+
+# -- degradation --------------------------------------------------------------
+
+
+def test_syntax_error_file_degrades_to_rpr000_without_crashing(tmp_path):
+    """A broken file must not take the project rules down with it."""
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    (tmp_path / "fine.py").write_text(
+        "def producer():\n"
+        "    return {1, 2}\n"
+        "def consumer(weights):\n"
+        "    return sum(weights[c] for c in producer())\n"
+    )
+    report = lint(paths=[tmp_path], root=tmp_path)
+    rules = {v.rule for v in report.violations}
+    # The parse error is reported AND the semantic rules still ran on
+    # the file that did parse.
+    assert "RPR000" in rules
+    assert "RPR010" in rules
+
+
+def test_cfg_is_cached_per_function_node():
+    project = _project(src__pkg__mod="def f():\n    return 1\n")
+    func = next(
+        node
+        for node in ast.walk(project.modules[0].tree)
+        if isinstance(node, ast.FunctionDef)
+    )
+    assert project.cfg(func) is project.cfg(func)
