@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all lint lint-strict lint-json lint-sarif bench bench-counting bench-mine bench-mine-smoke examples docs-check all
+.PHONY: install test test-fast test-all lint lint-strict lint-json lint-sarif bench bench-counting bench-mine bench-mine-smoke examples service-smoke docs-check all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -68,5 +68,12 @@ examples:
 	$(PYTHON) examples/beyond_binary.py
 	$(PYTHON) examples/text_mining.py --max-level 2
 	$(PYTHON) examples/quest_pruning.py
+	$(PYTHON) examples/streaming_service.py
+
+# Boot the streaming mining service against a real HTTP socket, append
+# and query over the wire, and assert the incremental state matches a
+# cold batch mine plus telemetry reconciliation (the CI service gate).
+service-smoke:
+	$(PYTHON) examples/streaming_service.py
 
 all: test bench

@@ -11,7 +11,10 @@ together:
   accepted association rules;
 * ``generate`` — materialise one of the paper's datasets (census /
   quest / corpus) into a basket file;
-* ``describe`` — print summary statistics of a basket file.
+* ``describe`` — print summary statistics of a basket file;
+* ``serve`` — run the streaming mining service (:mod:`repro.service`):
+  a long-lived HTTP server accepting basket appends and answering
+  correlation / top-K queries from incrementally maintained state.
 
 Basket files are the plain-text formats of :mod:`repro.data.io`: one
 basket per line, whitespace-separated item names (default) or integer
@@ -208,6 +211,48 @@ def build_parser() -> argparse.ArgumentParser:
     negative.add_argument("--max-cooccurrence", type=int, required=True)
     negative.add_argument("--significance", type=float, default=0.95)
     negative.add_argument("--limit", type=int, default=50)
+
+    serve = commands.add_parser(
+        "serve", help="long-lived mining service: HTTP appends + correlation queries"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8317, help="0 picks a free port")
+    serve.add_argument("--significance", type=float, default=0.95)
+    serve.add_argument("--support-count", type=float, default=1.0, help="cell count threshold s")
+    serve.add_argument("--support-fraction", type=float, default=0.26, help="cell fraction p")
+    serve.add_argument("--max-level", type=int, default=None)
+    serve.add_argument(
+        "--counting",
+        choices=["bitmap", "single_pass", "cube", "vectorized", "parallel", "fptree"],
+        default="bitmap",
+        help="table-counting backend for incremental re-mines",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="point-query table cache capacity"
+    )
+    serve.add_argument(
+        "--backfill",
+        metavar="FILE",
+        default=None,
+        help="replay this basket file as generation 1 before accepting requests",
+    )
+    serve.add_argument(
+        "--numeric",
+        action="store_true",
+        help="the --backfill file contains integer item ids rather than names",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=None,
+        help="reject request bodies larger than this with 413 (default 4 MiB)",
+    )
+    serve.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record per-request spans/metrics, served at GET /metrics",
+    )
 
     return parser
 
@@ -422,6 +467,46 @@ def _command_negative(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import MiningService
+    from repro.service.http import DEFAULT_MAX_BODY_BYTES, serve
+
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.create()
+
+    service = MiningService(
+        significance=args.significance,
+        support_count=args.support_count,
+        support_fraction=args.support_fraction,
+        max_level=args.max_level,
+        counting=args.counting,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        telemetry=telemetry,
+    )
+    if args.backfill:
+        outcome = service.backfill(args.backfill, numeric=args.numeric)
+        print(
+            f"backfilled {outcome['appended']} baskets from {args.backfill}: "
+            f"{outcome['significant']} significant itemsets at generation "
+            f"{outcome['generation']}"
+        )
+    max_body = args.max_body_bytes if args.max_body_bytes else DEFAULT_MAX_BODY_BYTES
+    server = serve(service, host=args.host, port=args.port, max_body_bytes=max_body)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (counting={args.counting}; ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 _COMMANDS = {
     "mine": _command_mine,
     "topk": _command_topk,
@@ -429,6 +514,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "describe": _command_describe,
     "negative": _command_negative,
+    "serve": _command_serve,
 }
 
 

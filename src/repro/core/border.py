@@ -114,6 +114,31 @@ class Border:
             if bucket is not None:
                 bucket.discard(itemset)
 
+    def remove(self, itemset: Itemset) -> bool:
+        """Remove a border element (a demotion); True when it was present.
+
+        Removal trivially preserves the antichain invariant.  The
+        incremental maintainer uses this when new evidence demotes a
+        previously-correlated itemset back below the significance
+        cutoff.
+        """
+        if itemset not in self._elements:
+            return False
+        self._remove(itemset)
+        return True
+
+    def diff(self, other: "Border") -> tuple[list[Itemset], list[Itemset]]:
+        """``(promoted, demoted)`` relative to an older border, sorted.
+
+        ``promoted`` are elements of ``self`` absent from ``other``
+        (newly significant); ``demoted`` are elements of ``other``
+        absent from ``self`` (no longer minimal or no longer
+        significant).
+        """
+        promoted = sorted(self._elements - other._elements)
+        demoted = sorted(other._elements - self._elements)
+        return promoted, demoted
+
     def covers(self, itemset: Itemset) -> bool:
         """True when ``itemset`` is on or above the border.
 

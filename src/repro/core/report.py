@@ -29,7 +29,49 @@ __all__ = [
     "render_level_stats",
     "rule_to_dict",
     "mining_result_to_dict",
+    "significance_summary",
 ]
+
+# Surfaced with every batch of discoveries (Hämäläinen & Webb, arXiv
+# 1405.1360): a per-test significance level does not control the number
+# of false discoveries across a mining run that tests thousands of
+# hypotheses.
+_MULTIPLE_HYPOTHESIS_NOTE = (
+    "each itemset is tested at the per-comparison level alpha; across "
+    "hypotheses_tested tests, roughly expected_false_discoveries spurious "
+    "correlations are expected by chance alone (see Hamalainen & Webb, "
+    "arXiv:1405.1360). bonferroni_alpha is the per-test level that would "
+    "bound the family-wise error rate at alpha."
+)
+
+
+def significance_summary(
+    significance: float,
+    hypotheses_tested: int,
+    discoveries: int,
+    cumulative_tests: int | None = None,
+) -> dict[str, object]:
+    """The multiple-hypothesis caveat attached to query responses.
+
+    ``hypotheses_tested`` counts the chi-squared evaluations behind the
+    current result; ``cumulative_tests`` (optional) counts evaluations
+    across a service's whole lifetime of re-mines.  The expected number
+    of false discoveries under the global null is ``alpha`` per test —
+    the paper's per-itemset cutoff says nothing about the batch.
+    """
+    alpha = 1.0 - significance
+    summary: dict[str, object] = {
+        "significance": significance,
+        "alpha": alpha,
+        "hypotheses_tested": hypotheses_tested,
+        "discoveries": discoveries,
+        "expected_false_discoveries": hypotheses_tested * alpha,
+        "bonferroni_alpha": alpha / hypotheses_tested if hypotheses_tested else alpha,
+        "note": _MULTIPLE_HYPOTHESIS_NOTE,
+    }
+    if cumulative_tests is not None:
+        summary["cumulative_tests"] = cumulative_tests
+    return summary
 
 
 def _names(itemset: Itemset, vocabulary: ItemVocabulary | None) -> list[str]:

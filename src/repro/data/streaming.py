@@ -38,20 +38,35 @@ class StreamingBasketDatabase:
     interface that single-pass mining needs: iteration (one file read
     per pass), ``n_baskets``, ``vocabulary``, and per-item counts.  The
     bitmap methods raise, signalling that per-candidate counting is
-    unavailable.
+    unavailable.  Because correctness depends on every pass reading the
+    same bytes, the file is fingerprinted (size + mtime) at open and
+    every subsequent pass raises :class:`RuntimeError` if the file has
+    changed since.
 
     Args:
         path: basket file, one basket per line.
         numeric: ids (``True``) or names (``False``) per line.
     """
 
-    __slots__ = ("_path", "_numeric", "_vocabulary", "_n_baskets", "_item_counts")
+    __slots__ = (
+        "_path",
+        "_numeric",
+        "_vocabulary",
+        "_n_baskets",
+        "_item_counts",
+        "_fingerprint",
+    )
 
     def __init__(self, path: str | os.PathLike[str], numeric: bool = False) -> None:
         self._path = os.fspath(path)
         self._numeric = numeric
         self._vocabulary = ItemVocabulary()
         self._item_counts: list[int] = []
+        # Every pass must see the bytes the priming pass saw: level-k
+        # counts against a mutated file would silently disagree with the
+        # level-1 marginals.  A size + mtime fingerprint catches the
+        # file changing between (not during) passes.
+        self._fingerprint = self._stat_fingerprint()
         n_baskets = 0
         # Priming pass: vocabulary + item counts (the level-1 data).
         for basket in self._read():
@@ -60,7 +75,18 @@ class StreamingBasketDatabase:
                 self._item_counts[item] += 1
         self._n_baskets = n_baskets
 
+    def _stat_fingerprint(self) -> tuple[int, int]:
+        info = os.stat(self._path)
+        return (info.st_size, info.st_mtime_ns)
+
     def _read(self) -> Iterator[tuple[int, ...]]:
+        fingerprint = self._stat_fingerprint()
+        if fingerprint != self._fingerprint:
+            raise RuntimeError(
+                f"basket file {self._path!r} changed since it was opened "
+                f"(size/mtime {self._fingerprint} -> {fingerprint}); "
+                "re-create the StreamingBasketDatabase to pick up the new contents"
+            )
         with open(self._path, "r", encoding="utf-8") as handle:
             for line in handle:
                 tokens = line.split()

@@ -14,7 +14,11 @@ query (~1.4x on a fresh-object probe loop; see the benchmark note in
 defined as tuple equality and both key and cached
 :class:`ContingencyTable` are immutable, and the engine is bound to a
 single (immutable) database, so entries never go stale within an
-engine's lifetime.
+engine's lifetime.  For the *appendable* database behind the streaming
+service, :meth:`TableCache.advance_generation` carries the cache across
+an append exactly: tables touching an appended item are invalidated,
+all others are patched in place (only their all-absent cell and total
+can have changed), so point queries keep hitting across generations.
 
 The cache is fully observable: :attr:`hits`, :attr:`misses`,
 :attr:`evictions` and :attr:`bypasses` are read-only counters,
@@ -27,6 +31,7 @@ so cache behaviour shows up in mining run reports.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 from repro.core.contingency import ContingencyTable
@@ -55,8 +60,8 @@ class TableCache:
     True
     >>> cache.hits, cache.misses
     (1, 0)
-    >>> cache.stats()
-    {'capacity': 2, 'size': 1, 'hits': 1, 'misses': 0, 'evictions': 0, 'bypasses': 0}
+    >>> cache.stats()["size"], cache.stats()["generation"]
+    (1, 0)
     """
 
     __slots__ = (
@@ -65,6 +70,9 @@ class TableCache:
         "_misses",
         "_evictions",
         "_bypasses",
+        "_invalidations",
+        "_refreshes",
+        "_generation",
         "_entries",
         "_events",
     )
@@ -79,6 +87,9 @@ class TableCache:
         self._misses = 0
         self._evictions = 0
         self._bypasses = 0
+        self._invalidations = 0
+        self._refreshes = 0
+        self._generation = 0
         # Interned keys: the itemset's sorted id tuple, never the
         # Itemset itself (C-speed equality on every get/put).
         self._entries: OrderedDict[tuple[int, ...], ContingencyTable] = OrderedDict()
@@ -87,6 +98,8 @@ class TableCache:
             "miss": metrics.counter("cache_events", kind="miss"),
             "evict": metrics.counter("cache_events", kind="evict"),
             "bypass": metrics.counter("cache_events", kind="bypass"),
+            "invalidate": metrics.counter("cache_events", kind="invalidate"),
+            "refresh": metrics.counter("cache_events", kind="refresh"),
         }
 
     @property
@@ -109,15 +122,33 @@ class TableCache:
         """Tables the engine never offered because the batch outsized the cache."""
         return self._bypasses
 
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped by :meth:`advance_generation` (stale tables)."""
+        return self._invalidations
+
+    @property
+    def refreshes(self) -> int:
+        """Entries exactly patched by :meth:`advance_generation`."""
+        return self._refreshes
+
+    @property
+    def generation(self) -> int:
+        """Database generation the cached tables describe."""
+        return self._generation
+
     def stats(self) -> dict[str, int]:
         """Counter snapshot plus the current occupancy."""
         return {
             "capacity": self.capacity,
             "size": len(self._entries),
+            "generation": self._generation,
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
             "bypasses": self._bypasses,
+            "invalidations": self._invalidations,
+            "refreshes": self._refreshes,
         }
 
     def __len__(self) -> int:
@@ -156,6 +187,48 @@ class TableCache:
         """Record ``n`` tables that skipped the cache wholesale."""
         self._bypasses += n
         self._events["bypass"].inc(n)
+
+    def advance_generation(self, touched_items: Iterable[int], delta_count: int) -> None:
+        """Carry the cache across a database append, exactly.
+
+        ``touched_items`` are the item ids occurring in the appended
+        baskets, ``delta_count`` the number of baskets appended.  Two
+        disjoint cases cover every entry:
+
+        * a table sharing an item with the delta may have any cell
+          changed — it is **invalidated** (dropped);
+        * a table touching none of the appended items is **refreshed**
+          in place: every appended basket lands in its all-absent cell,
+          so the only exact changes are ``cell 0 += delta_count`` and
+          ``n += delta_count`` (the marginals are untouched).  The
+          rebuilt table is bit-identical to a fresh count over the grown
+          database.
+
+        Recency order is preserved.  Generation advances even for an
+        empty delta, keeping the counter aligned with the database's.
+        """
+        if delta_count < 0:
+            raise ValueError(f"delta_count must be non-negative, got {delta_count}")
+        touched = frozenset(touched_items)
+        self._generation += 1
+        if not self._entries:
+            return
+        survivors: OrderedDict[tuple[int, ...], ContingencyTable] = OrderedDict()
+        for key, table in self._entries.items():
+            if touched.intersection(key):
+                self._invalidations += 1
+                self._events["invalidate"].inc()
+                continue
+            if delta_count:
+                cells = dict(table.nonzero_counts())
+                cells[0] = cells.get(0, 0) + delta_count
+                table = ContingencyTable.from_cell_counts(
+                    table.itemset, cells, table.n + delta_count
+                )
+                self._refreshes += 1
+                self._events["refresh"].inc()
+            survivors[key] = table
+        self._entries = survivors
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -1,0 +1,243 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.core.MiningService`.
+
+A deliberately small wire surface over ``http.server``:
+
+====== ====================== ===========================================
+Method Path                   Meaning
+====== ====================== ===========================================
+GET    ``/healthz``           liveness + current generation
+GET    ``/status``            sizes, parameters, cache health
+GET    ``/query/significant`` significant itemsets (``?limit=N``)
+GET    ``/query/topk``        top-K pairs (``?k=N&min_cooccurrence=M``)
+GET    ``/metrics``           service-lifetime metrics snapshot
+POST   ``/append``            ``{"baskets": [[...]], "numeric": bool}``
+POST   ``/query/itemset``     ``{"items": [...]}`` point correlation
+====== ====================== ===========================================
+
+Responses are canonical JSON (``sort_keys=True`` + trailing newline) so
+identical sessions produce byte-identical transcripts.  Failures map to
+precise statuses — 400 malformed body or parameters, 404 unknown path,
+405 wrong method, 413 oversized body (checked *before* reading), 500
+handler crash — and never leave the service in a partial state: the
+service's append is two-phase, so whatever the handler was doing, the
+previous generation stays queryable.
+
+The server is a ``ThreadingHTTPServer``; concurrency safety lives in
+:class:`MiningService` (one lock), not here.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.service.core import MiningService
+
+__all__ = ["ServiceServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """An error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str, close: bool = False) -> None:
+        super().__init__(message)
+        self.status = status
+        self.close = close
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    # Quiet the default stderr chatter; route it through logging instead.
+
+    server: "ServiceServer"  # type: ignore[assignment]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _send(self, status: int, payload: dict[str, object]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json_body(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise _HttpError(411, "Content-Length required")
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {length_header!r}") from None
+        if length < 0:
+            raise _HttpError(400, f"bad Content-Length {length}")
+        if length > self.server.max_body_bytes:
+            # Refuse before reading; the unread body poisons the
+            # keep-alive stream, so close the connection too.
+            raise _HttpError(
+                413,
+                f"body of {length} bytes exceeds the"
+                f" {self.server.max_body_bytes}-byte limit",
+                close=True,
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise _HttpError(400, f"malformed JSON body: {error}") from None
+
+    def _int_param(self, params: dict[str, list[str]], name: str, default: int) -> int:
+        values = params.get(name)
+        if not values:
+            return default
+        try:
+            return int(values[-1])
+        except ValueError:
+            raise _HttpError(400, f"parameter {name}={values[-1]!r} is not an integer") from None
+
+    def _dispatch(self, handler) -> None:
+        try:
+            status, payload = handler()
+        except _HttpError as error:
+            if error.close:
+                self.close_connection = True
+            self._send(error.status, {"error": str(error)})
+            return
+        except (ValueError, KeyError) as error:
+            self._send(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 - the wire must answer
+            logger.exception("unhandled service error")
+            self._send(500, {"error": f"internal error: {error}"})
+            return
+        self._send(status, payload)
+
+    # -- routing --------------------------------------------------------------
+
+    _GET_PATHS = ("/healthz", "/status", "/query/significant", "/query/topk", "/metrics")
+    _POST_PATHS = ("/append", "/query/itemset")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        split = urlsplit(self.path)
+        path = split.path
+        params = parse_qs(split.query)
+        service = self.server.service
+        if path == "/healthz":
+            self._dispatch(
+                lambda: (200, {"status": "ok", "generation": service.miner.generation})
+            )
+        elif path == "/status":
+            self._dispatch(lambda: (200, service.status()))
+        elif path == "/query/significant":
+            # Parameter parsing must run inside _dispatch so a bad value
+            # becomes a 400 response, not an unanswered request.
+            self._dispatch(
+                lambda: (
+                    200,
+                    service.significant(limit=self._int_param(params, "limit", 50)),
+                )
+            )
+        elif path == "/query/topk":
+            self._dispatch(
+                lambda: (
+                    200,
+                    service.top_k(
+                        k=self._int_param(params, "k", 10),
+                        min_cooccurrence=self._int_param(params, "min_cooccurrence", 1),
+                    ),
+                )
+            )
+        elif path == "/metrics":
+            self._dispatch(lambda: (200, service.metrics_snapshot()))
+        elif path in self._POST_PATHS:
+            self._send(405, {"error": f"{path} requires POST"})
+        else:
+            self._send(404, {"error": f"unknown path {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        service = self.server.service
+        if path == "/append":
+            self._dispatch(lambda: (200, service.append(**_append_args(self._read_json_body()))))
+        elif path == "/query/itemset":
+            self._dispatch(
+                lambda: (200, service.correlation(_itemset_args(self._read_json_body())))
+            )
+        elif path in self._GET_PATHS:
+            self._send(405, {"error": f"{path} requires GET"})
+        else:
+            self._send(404, {"error": f"unknown path {path}"})
+
+
+def _append_args(body: object) -> dict[str, object]:
+    if not isinstance(body, dict):
+        raise _HttpError(400, "append body must be a JSON object")
+    baskets = body.get("baskets")
+    if not isinstance(baskets, list) or not all(isinstance(b, list) for b in baskets):
+        raise _HttpError(400, 'append body needs "baskets": a list of lists')
+    numeric = body.get("numeric", False)
+    if not isinstance(numeric, bool):
+        raise _HttpError(400, '"numeric" must be a boolean')
+    return {"baskets": baskets, "numeric": numeric}
+
+
+def _itemset_args(body: object) -> list[object]:
+    if not isinstance(body, dict):
+        raise _HttpError(400, "query body must be a JSON object")
+    items = body.get("items")
+    if not isinstance(items, list) or not items:
+        raise _HttpError(400, 'query body needs "items": a non-empty list')
+    return items
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MiningService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: MiningService,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
+        self.service = service
+        self.max_body_bytes = max_body_bytes
+        super().__init__(address, _Handler)
+
+    def handle_error(self, request: object, client_address: object) -> None:
+        # Clients hanging up mid-keep-alive is routine, not a stack trace.
+        import sys
+
+        error = sys.exc_info()[1]
+        if isinstance(error, (ConnectionResetError, BrokenPipeError)):
+            logger.debug("client %s disconnected: %s", client_address, error)
+        else:
+            logger.exception("error handling request from %s", client_address)
+
+
+def serve(
+    service: MiningService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> ServiceServer:
+    """Bind a server (``port=0`` picks a free port); caller runs it.
+
+    >>> from repro.service import MiningService, serve
+    >>> server = serve(MiningService())           # doctest: +SKIP
+    >>> server.serve_forever()                    # doctest: +SKIP
+    """
+    return ServiceServer((host, port), service, max_body_bytes=max_body_bytes)

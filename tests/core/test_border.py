@@ -119,3 +119,55 @@ class TestBorderValidation:
         for element in border:
             for extra in range(6):
                 assert border.covers(element.add(extra))
+
+
+class TestRemove:
+    def test_remove_present_element(self):
+        border = Border([Itemset([1, 2]), Itemset([3, 4])])
+        assert border.remove(Itemset([1, 2])) is True
+        assert border.elements() == [Itemset([3, 4])]
+        assert not border.covers(Itemset([1, 2, 5]))
+
+    def test_remove_absent_element_is_noop(self):
+        border = Border([Itemset([1, 2])])
+        assert border.remove(Itemset([2, 3])) is False
+        assert border.remove(Itemset([1, 2, 3])) is False  # covered != present
+        assert border.elements() == [Itemset([1, 2])]
+
+    def test_remove_then_add_subset(self):
+        border = Border([Itemset([1, 2, 3])])
+        border.remove(Itemset([1, 2, 3]))
+        assert border.add(Itemset([1, 2]))
+        border.validate()
+
+
+class TestDiff:
+    def test_diff_promoted_and_demoted(self):
+        old = Border([Itemset([1, 2]), Itemset([3, 4])])
+        new = Border([Itemset([1, 2]), Itemset([5, 6])])
+        promoted, demoted = new.diff(old)
+        assert promoted == [Itemset([5, 6])]
+        assert demoted == [Itemset([3, 4])]
+
+    def test_diff_identical_borders(self):
+        border = Border([Itemset([1, 2])])
+        assert border.diff(Border([Itemset([1, 2])])) == ([], [])
+
+    def test_diff_against_empty(self):
+        border = Border([Itemset([2, 3]), Itemset([0, 1])])
+        promoted, demoted = border.diff(Border())
+        assert promoted == [Itemset([0, 1]), Itemset([2, 3])]  # sorted
+        assert demoted == []
+        promoted, demoted = Border().diff(border)
+        assert promoted == []
+        assert demoted == [Itemset([0, 1]), Itemset([2, 3])]
+
+    def test_diff_ignores_shrink_grow_within_chain(self):
+        # A demotion that replaces an element with its superset shows up
+        # as one demote + one promote, which is exactly what the service
+        # reports to clients.
+        old = Border([Itemset([1, 2])])
+        new = Border([Itemset([1, 2, 3])])
+        promoted, demoted = new.diff(old)
+        assert promoted == [Itemset([1, 2, 3])]
+        assert demoted == [Itemset([1, 2])]

@@ -78,6 +78,58 @@ class TestStreamingSource:
             stream.itemset_bitmap(Itemset([0]))
 
 
+class TestFileChangeDetection:
+    """The file must not change between passes — and now that's enforced.
+
+    Multi-level mining reads the file once per level; if the bytes
+    change between passes, level-k counts silently disagree with the
+    level-1 marginals from the priming pass.
+    """
+
+    def test_append_between_passes_detected(self, named_file):
+        stream = StreamingBasketDatabase(named_file)
+        list(stream)  # a clean pass succeeds
+        with open(named_file, "a", encoding="utf-8") as handle:
+            handle.write("bread butter\n")
+        with pytest.raises(RuntimeError, match="changed since it was opened"):
+            list(stream)
+
+    def test_same_size_rewrite_detected(self, named_file):
+        import os
+
+        stream = StreamingBasketDatabase(named_file)
+        original = named_file.read_bytes()
+        named_file.write_bytes(original)  # same size, new mtime
+        os.utime(named_file, ns=(0, 123456789))  # force a distinct mtime_ns
+        with pytest.raises(RuntimeError, match="changed since it was opened"):
+            list(stream)
+
+    def test_support_count_scan_also_guarded(self, named_file):
+        stream = StreamingBasketDatabase(named_file)
+        pair = stream.vocabulary.encode(["bread", "butter"])
+        assert stream.support_count(pair) == 40
+        with open(named_file, "a", encoding="utf-8") as handle:
+            handle.write("bread butter\n")
+        with pytest.raises(RuntimeError, match="changed since it was opened"):
+            stream.support_count(pair)
+
+    def test_unchanged_file_keeps_streaming(self, named_file):
+        stream = StreamingBasketDatabase(named_file)
+        assert list(stream) == list(stream)
+
+    def test_mining_over_mutated_file_fails_loudly(self, named_file):
+        from repro.measures.cellsupport import CellSupport
+
+        stream = StreamingBasketDatabase(named_file)
+        with open(named_file, "a", encoding="utf-8") as handle:
+            handle.write("milk\n")
+        miner = ChiSquaredSupportMiner(
+            support=CellSupport(5, 0.3), counting="single_pass"
+        )
+        with pytest.raises(RuntimeError, match="changed since it was opened"):
+            miner.mine(stream)
+
+
 class TestStreamingMining:
     def test_single_pass_tables_match_in_memory(self, named_file, in_memory_db):
         stream = StreamingBasketDatabase(named_file)

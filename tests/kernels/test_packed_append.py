@@ -1,0 +1,128 @@
+"""Unit tests for appendable growth of the packed-bitmap index.
+
+The invariant throughout: after any sequence of appends, the live
+``packed``/``counts`` views are bit-identical to
+``PackedBitmapIndex.from_database`` over the equivalently grown
+database — amortised doubling is an implementation detail the counting
+kernels never see.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.basket import BasketDatabase
+
+np = pytest.importorskip("numpy")
+
+from repro.kernels import PackedBitmapIndex  # noqa: E402
+
+
+def random_baskets(seed: int, n_items: int, n_baskets: int) -> list[list[int]]:
+    rng = random.Random(seed)
+    density = rng.uniform(0.1, 0.7)
+    return [
+        [item for item in range(n_items) if rng.random() < density]
+        for _ in range(n_baskets)
+    ]
+
+
+def assert_bit_identical(index: PackedBitmapIndex, baskets: list, n_items: int):
+    db = BasketDatabase.from_id_baskets(baskets, n_items=n_items)
+    fresh = PackedBitmapIndex.from_database(db)
+    assert index.n_baskets == fresh.n_baskets
+    assert index.n_words == fresh.n_words
+    assert index.packed.shape == fresh.packed.shape
+    assert np.array_equal(index.packed, fresh.packed)
+    assert np.array_equal(index.counts, fresh.counts)
+
+
+class TestAppend:
+    def test_single_append_matches_fresh_pack(self):
+        first = random_baskets(1, 6, 40)
+        second = random_baskets(2, 6, 25)
+        db = BasketDatabase.from_id_baskets(first, n_items=6)
+        index = PackedBitmapIndex.from_database(db)
+        generation = index.append([tuple(b) for b in second])
+        assert generation == 1
+        assert_bit_identical(index, first + second, 6)
+
+    def test_growth_across_word_boundaries(self):
+        # 60 + 10 baskets crosses the 64-bit word boundary mid-append.
+        first = random_baskets(3, 4, 60)
+        db = BasketDatabase.from_id_baskets(first, n_items=4)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.n_words == 1
+        second = random_baskets(4, 4, 10)
+        index.append([tuple(b) for b in second])
+        assert index.n_words == 2
+        assert_bit_identical(index, first + second, 4)
+
+    def test_many_small_appends(self):
+        accumulated: list[list[int]] = []
+        db = BasketDatabase.from_id_baskets([], n_items=5)
+        index = PackedBitmapIndex.from_database(db)
+        for step in range(20):
+            chunk = random_baskets(100 + step, 5, 7)
+            generation = index.append([tuple(b) for b in chunk])
+            accumulated.extend(chunk)
+            assert generation == step + 1
+            assert_bit_identical(index, accumulated, 5)
+
+    def test_vocabulary_growth_adds_zero_rows(self):
+        first = [[0, 1], [1]]
+        db = BasketDatabase.from_id_baskets(first, n_items=2)
+        index = PackedBitmapIndex.from_database(db)
+        index.append([(0, 3), (2,)], n_items=4)
+        assert_bit_identical(index, first + [[0, 3], [2]], 4)
+        # The new items' columns are zero for the pre-append baskets.
+        assert index.counts.tolist() == [2, 2, 1, 1]
+
+    def test_empty_append_bumps_generation_only(self):
+        first = random_baskets(5, 3, 10)
+        db = BasketDatabase.from_id_baskets(first, n_items=3)
+        index = PackedBitmapIndex.from_database(db)
+        generation = index.append([])
+        assert generation == 1
+        assert_bit_identical(index, first, 3)
+
+    def test_empty_baskets_advance_positions(self):
+        first = [[0], [1]]
+        db = BasketDatabase.from_id_baskets(first, n_items=2)
+        index = PackedBitmapIndex.from_database(db)
+        index.append([(), (0,), ()])
+        assert_bit_identical(index, first + [[], [0], []], 2)
+        assert index.n_baskets == 5
+
+    def test_shrinking_n_items_rejected(self):
+        db = BasketDatabase.from_id_baskets([[0, 1, 2]], n_items=3)
+        index = PackedBitmapIndex.from_database(db)
+        with pytest.raises(ValueError):
+            index.append([(0,)], n_items=2)
+
+    def test_append_to_frombuffer_backed_index_reallocates(self):
+        # Serialised/shared-memory indexes are backed by read-only
+        # buffers; append must notice and copy into writable storage.
+        first = [[0, 1], [0]]
+        db = BasketDatabase.from_id_baskets(first, n_items=2)
+        index = PackedBitmapIndex.from_database(db)
+        frozen = np.frombuffer(index.packed.tobytes(), dtype=np.uint64).reshape(
+            index.packed.shape
+        )
+        assert not frozen.flags.writeable
+        index.packed = frozen
+        index._storage = frozen
+        index.append([(1,)])
+        assert index.packed.flags.writeable
+        assert_bit_identical(index, first + [[1]], 2)
+
+    def test_generation_counter_monotone(self):
+        db = BasketDatabase.from_id_baskets([[0]], n_items=1)
+        index = PackedBitmapIndex.from_database(db)
+        assert index.generation == 0
+        assert index.append([(0,)]) == 1
+        assert index.append([]) == 2
+        assert index.append([(0,)]) == 3
+        assert index.generation == 3

@@ -1,0 +1,1 @@
+"""Tests for the streaming mining service (:mod:`repro.service`)."""

@@ -70,3 +70,11 @@ def test_quest_pruning_runs():
     assert result.returncode == 0, result.stderr
     assert "|CAND|" in result.stdout
     assert "pruning examined only" in result.stdout
+
+
+def test_streaming_service_runs():
+    result = run_example("streaming_service.py")
+    assert result.returncode == 0, result.stderr
+    assert "service smoke: OK" in result.stdout
+    assert "bit-identical to a cold batch mine" in result.stdout
+    assert "telemetry reconciles" in result.stdout

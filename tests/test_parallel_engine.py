@@ -128,10 +128,13 @@ class TestTableCache:
         assert cache.stats() == {
             "capacity": 2,
             "size": 2,
+            "generation": 0,
             "hits": 1,
             "misses": 1,
             "evictions": 1,
             "bypasses": 0,
+            "invalidations": 0,
+            "refreshes": 0,
         }
 
     def test_metrics_mirror_local_counters(self):
@@ -154,6 +157,75 @@ class TestTableCache:
         cache = TableCache(capacity=2)
         with pytest.raises(AttributeError):
             cache.hits = 5
+
+
+class TestTableCacheGenerations:
+    """advance_generation: exact carry of cached tables across appends."""
+
+    def _populate(self):
+        from repro.data.basket import BasketDatabase
+
+        db = BasketDatabase.from_id_baskets(
+            [[0, 1], [0, 1], [2], [2, 3], []], n_items=4
+        )
+        cache = TableCache(capacity=8)
+        for pair in ([0, 1], [2, 3]):
+            itemset = Itemset(pair)
+            cache.put(itemset, ContingencyTable.from_database(db, itemset))
+        return db, cache
+
+    def test_touched_tables_invalidated(self):
+        _, cache = self._populate()
+        cache.advance_generation({0}, 2)
+        assert cache.get(Itemset([0, 1])) is None  # shared item 0 -> dropped
+        assert cache.get(Itemset([2, 3])) is not None
+        assert cache.invalidations == 1
+        assert cache.refreshes == 1
+        assert cache.generation == 1
+
+    def test_refreshed_table_matches_fresh_count(self):
+        from repro.data.basket import BasketDatabase
+
+        db, cache = self._populate()
+        # Append two baskets touching only items 0 and 1.
+        grown = BasketDatabase.from_id_baskets(
+            list(db) + [(0,), (0, 1)], n_items=4
+        )
+        cache.advance_generation({0, 1}, 2)
+        refreshed = cache.get(Itemset([2, 3]))
+        fresh = ContingencyTable.from_database(grown, Itemset([2, 3]))
+        assert refreshed.n == fresh.n
+        for cell in fresh.cells():
+            assert refreshed.observed(cell) == fresh.observed(cell)
+        for position in range(2):
+            assert refreshed.marginal(position) == fresh.marginal(position)
+
+    def test_empty_delta_still_advances_generation(self):
+        _, cache = self._populate()
+        cache.advance_generation(set(), 0)
+        assert cache.generation == 1
+        assert cache.refreshes == 0
+        assert cache.invalidations == 0
+        assert cache.get(Itemset([0, 1])) is not None
+
+    def test_negative_delta_rejected(self):
+        _, cache = self._populate()
+        with pytest.raises(ValueError):
+            cache.advance_generation(set(), -1)
+
+    def test_recency_order_preserved(self):
+        _, cache = self._populate()
+        cache.get(Itemset([0, 1]))  # 01 becomes most recent
+        cache.advance_generation(set(), 1)
+        extra = ContingencyTable(Itemset([1, 2]), {0b11: 1, 0b00: 5})
+        cache.put(extra.itemset, extra)
+        cache.put(Itemset([0, 3]), ContingencyTable(Itemset([0, 3]), {0b00: 6}))
+        # Capacity 8: no eviction yet; shrink to force the LRU entry out.
+        cache.capacity = 4
+        cache.put(Itemset([1, 3]), ContingencyTable(Itemset([1, 3]), {0b00: 6}))
+        # [2,3] was least recently used and must have been evicted.
+        assert Itemset([2, 3]) not in cache
+        assert Itemset([0, 1]) in cache
 
 
 class TestEngine:
