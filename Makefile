@@ -58,7 +58,7 @@ bench-mine:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --output BENCH_mine.json
 
 bench-mine-smoke:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --smoke --gate-parallel --output BENCH_mine_smoke.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) benchmarks/bench_mine.py --smoke --gate-parallel --overhead-gate --output BENCH_mine_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -16,6 +16,7 @@ telemetry reconciliation agreed.  CI runs it as the service smoke test.
 import json
 import sys
 import threading
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -25,13 +26,15 @@ from repro.algorithms.chi2support import ChiSquaredSupportMiner  # noqa: E402
 from repro.data.basket import BasketDatabase  # noqa: E402
 from repro.data.quest import QuestParameters, generate_quest  # noqa: E402
 from repro.measures.cellsupport import CellSupport  # noqa: E402
-from repro.obs import Telemetry  # noqa: E402
+from repro.obs import Telemetry, validate_exposition  # noqa: E402
 from repro.service import MiningService, serve  # noqa: E402
 
 
-def request(base: str, method: str, path: str, body=None):
+def request(base: str, method: str, path: str, body=None, headers=None):
     data = json.dumps(body).encode() if body is not None else None
-    req = urllib.request.Request(base + path, data=data, method=method)
+    req = urllib.request.Request(
+        base + path, data=data, method=method, headers=headers or {}
+    )
     with urllib.request.urlopen(req, timeout=30) as response:
         return json.loads(response.read())
 
@@ -110,7 +113,18 @@ def main() -> None:
     )
 
     # -- telemetry reconciliation across the service lifetime -----------
-    snapshot = request(base, "GET", "/metrics")
+    # /metrics defaults to Prometheus text; the JSON snapshot is behind
+    # content negotiation.  Check both faces: the text must satisfy the
+    # in-repo exposition validator, the JSON drives the reconciliation.
+    with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
+        assert response.headers["Content-Type"].startswith("text/plain")
+        problems = validate_exposition(response.read().decode("utf-8"))
+    assert problems == [], problems
+    print("GET /metrics serves validator-clean Prometheus text")
+
+    snapshot = request(
+        base, "GET", "/metrics", headers={"Accept": "application/json"}
+    )
     requests_by_key = {
         key: value
         for key, value in snapshot["counters"].items()
@@ -127,6 +141,26 @@ def main() -> None:
     print(
         f"telemetry reconciles: {total} requests counted, 0 errors, "
         f"index_generation gauge == {status['generation']}"
+    )
+
+    # -- flight recorder: a 4xx leaves a correlated post-mortem ---------
+    try:
+        request(base, "GET", "/definitely/not/a/path")
+        raise AssertionError("expected a 404")
+    except urllib.error.HTTPError as error:
+        assert error.code == 404
+        failing_id = error.headers["X-Request-Id"]
+        error.read()
+    flight = request(base, "GET", "/debug/flight")
+    failing = [
+        entry for entry in flight["entries"] if entry["request_id"] == failing_id
+    ]
+    assert len(failing) == 1 and failing[0]["status"] == 404, flight["entries"]
+    dump_path = Path("service-flight.json")
+    dump_path.write_text(json.dumps(flight, indent=2, sort_keys=True) + "\n")
+    print(
+        f"flight recorder holds the 404 under {failing_id}; "
+        f"dump written to {dump_path}"
     )
 
     server.shutdown()

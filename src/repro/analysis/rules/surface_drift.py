@@ -53,6 +53,7 @@ _PRESENTATION_FLAGS = {
     "telemetry",
     "trace_out",
     "metrics_out",
+    "profile",
     "log_level",
 }
 

@@ -23,8 +23,10 @@ ids (``--numeric``).
 ``mine`` is fully observable: ``--telemetry`` prints the run report
 (Table 5 with timings, cache/kernel/pool rollups) on stderr,
 ``--metrics-out FILE`` writes the metrics snapshot + run report as
-JSON, and ``--trace-out FILE`` writes a Chrome trace-event file
-loadable in ``chrome://tracing``/Perfetto.  The global ``--log-level``
+JSON, ``--trace-out FILE`` writes a Chrome trace-event file loadable
+in ``chrome://tracing``/Perfetto, and ``--profile`` samples the run
+with the wall-clock profiler and prints a span-attributed
+collapsed-stack report on stderr.  The global ``--log-level``
 configures stdlib logging on stderr for every command.
 """
 
@@ -148,6 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the metrics snapshot + run report as JSON; implies --telemetry",
     )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "sample the run with the wall-clock profiler and print a "
+            "collapsed-stack report on stderr; implies --telemetry"
+        ),
+    )
 
     topk = commands.add_parser(
         "topk", help="the K strongest pair correlations (FP-tree branch-and-bound)"
@@ -253,13 +263,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="record per-request spans/metrics, served at GET /metrics",
     )
+    serve.add_argument(
+        "--flight-dump",
+        metavar="FILE",
+        default="flight-5xx.json",
+        help=(
+            "write the flight recorder here when a request dies with an "
+            "unhandled 5xx ('' disables the automatic dump)"
+        ),
+    )
 
     return parser
 
 
 def _command_mine(args: argparse.Namespace) -> int:
     telemetry = None
-    if args.telemetry or args.trace_out or args.metrics_out:
+    if args.telemetry or args.trace_out or args.metrics_out or args.profile:
         from repro.obs import Telemetry
 
         telemetry = Telemetry.create()
@@ -277,10 +296,24 @@ def _command_mine(args: argparse.Namespace) -> int:
         shared_memory=args.shared_memory,
         telemetry=telemetry,
     )
-    result = miner.mine(db)
+    profiler = None
+    if args.profile:
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            tracer=telemetry.tracer if telemetry is not None else None
+        )
+        profiler.start()
+    try:
+        result = miner.mine(db)
+    finally:
+        if profiler is not None:
+            profiler.stop()
 
     if telemetry is not None:
         _export_telemetry(telemetry, result, args)
+    if profiler is not None:
+        print(profiler.report(limit=40), file=sys.stderr)
 
     if args.json:
         import json
@@ -495,7 +528,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"{outcome['generation']}"
         )
     max_body = args.max_body_bytes if args.max_body_bytes else DEFAULT_MAX_BODY_BYTES
-    server = serve(service, host=args.host, port=args.port, max_body_bytes=max_body)
+    server = serve(
+        service,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=max_body,
+        flight_dump_path=args.flight_dump or None,
+    )
     host, port = server.server_address[:2]
     print(f"serving on http://{host}:{port} (counting={args.counting}; ctrl-c to stop)")
     try:

@@ -250,6 +250,7 @@ class _IncrementalTableEngine:
         cached_cells: dict[Itemset, dict[int, int]],
         backend: str,
         workers: int | None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.db = view
         self._base_db = base_db
@@ -257,6 +258,7 @@ class _IncrementalTableEngine:
         self._cached = cached_cells
         self._backend = backend
         self._workers = workers
+        self._telemetry = telemetry
         self.new_cells: dict[Itemset, dict[int, int]] = {}
         self.served = 0
         self.recounted = 0
@@ -277,7 +279,11 @@ class _IncrementalTableEngine:
         if backend == "parallel":
             from repro.parallel import ParallelCountingEngine
 
-            with ParallelCountingEngine(db, workers=self._workers) as engine:
+            # Share the append's telemetry bundle so worker-side counters
+            # merged by the pool land in this run's registry and /metrics.
+            with ParallelCountingEngine(
+                db, workers=self._workers, telemetry=self._telemetry
+            ) as engine:
                 return _extract_cells(engine.count_tables(itemsets))
         if backend == "fptree":
             from repro.fptree import FPTreePairEngine
@@ -486,6 +492,7 @@ class IncrementalMiner:
             for item in basket:
                 counts[item] += 1
         view = _PendingView(new_n, new_k, tuple(counts))
+        telemetry = self._telemetry()
         engine = _IncrementalTableEngine(
             view,
             self.db if self.db.n_baskets else None,
@@ -493,6 +500,7 @@ class IncrementalMiner:
             self._cells,
             self.counting,
             self.workers,
+            telemetry=telemetry,
         )
         from repro.algorithms.chi2support import ChiSquaredSupportMiner
 
@@ -502,7 +510,7 @@ class IncrementalMiner:
             max_level=self.max_level,
             counting="parallel",
             engine=engine,
-            telemetry=self._telemetry(),
+            telemetry=telemetry,
         )
         result = miner.mine(view)  # type: ignore[arg-type]
 

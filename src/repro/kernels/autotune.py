@@ -26,10 +26,12 @@ its own, learning from its own shard timings.
 
 from __future__ import annotations
 
-import time
 from typing import TYPE_CHECKING
 
+from repro.obs.clock import default_clock
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.clock import Clock
     from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["DISPATCH_MODES", "KernelDispatcher"]
@@ -81,7 +83,9 @@ class KernelDispatcher:
     ``mode`` is one of :data:`DISPATCH_MODES`.  ``metrics`` (a
     :class:`repro.obs.MetricsRegistry`) receives one
     ``kernel_autotune{k=...,path=...,reason=...}`` increment per
-    decision; pass ``None`` to run silently.
+    decision; pass ``None`` to run silently.  ``clock`` times the
+    batches :meth:`timed` observes — injectable so the learning loop is
+    deterministic under a ``FakeClock``.
 
     >>> dispatcher = KernelDispatcher()
     >>> dispatcher.choose(2, count=100, n_words=8)
@@ -94,10 +98,13 @@ class KernelDispatcher:
     'moebius'
     """
 
-    __slots__ = ("mode", "metrics", "decisions", "_units")
+    __slots__ = ("mode", "metrics", "clock", "decisions", "_units")
 
     def __init__(
-        self, mode: str = "auto", metrics: "MetricsRegistry | None" = None
+        self,
+        mode: str = "auto",
+        metrics: "MetricsRegistry | None" = None,
+        clock: "Clock | None" = None,
     ) -> None:
         if mode not in DISPATCH_MODES:
             raise ValueError(
@@ -105,6 +112,7 @@ class KernelDispatcher:
             )
         self.mode = mode
         self.metrics = metrics
+        self.clock = clock if clock is not None else default_clock()
         self.decisions: list[dict] = []
         # path -> observed EWMA seconds-per-work (None until observed).
         self._units: dict[str, float | None] = {path: None for path in _PRIORS}
@@ -219,7 +227,7 @@ class _TimedObservation:
         self._start = 0.0
 
     def __enter__(self) -> "_TimedObservation":
-        self._start = time.perf_counter()
+        self._start = self._dispatcher.clock()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -229,5 +237,5 @@ class _TimedObservation:
                 self._k,
                 self._count,
                 self._n_words,
-                time.perf_counter() - self._start,
+                self._dispatcher.clock() - self._start,
             )

@@ -28,6 +28,21 @@ guarantees.
 """
 
 from repro.obs.clock import Clock, FakeClock, default_clock
+from repro.obs.events import (
+    EventLog,
+    NULL_EVENTS,
+    NullEventLog,
+    RequestIdSource,
+    current_request_id,
+    reset_request_id,
+    set_request_id,
+)
+from repro.obs.exposition import (
+    CONTENT_TYPE as EXPOSITION_CONTENT_TYPE,
+    render_exposition,
+    validate_exposition,
+)
+from repro.obs.flight import FlightRecorder, NULL_FLIGHT, NullFlightRecorder
 from repro.obs.metrics import (
     Counter,
     DEFAULT_SECONDS_BUCKETS,
@@ -37,6 +52,7 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
 )
+from repro.obs.profiler import SamplingProfiler
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -44,17 +60,31 @@ __all__ = [
     "Clock",
     "Counter",
     "DEFAULT_SECONDS_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "EventLog",
     "FakeClock",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_EVENTS",
+    "NULL_FLIGHT",
     "NULL_METRICS",
     "NULL_TELEMETRY",
     "NULL_TRACER",
+    "NullEventLog",
+    "NullFlightRecorder",
     "NullMetrics",
     "NullTracer",
+    "RequestIdSource",
+    "SamplingProfiler",
     "Span",
     "Telemetry",
     "Tracer",
+    "current_request_id",
     "default_clock",
+    "render_exposition",
+    "reset_request_id",
+    "set_request_id",
+    "validate_exposition",
 ]

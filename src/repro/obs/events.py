@@ -1,0 +1,166 @@
+"""Structured JSON event log with request-id correlation.
+
+Every service request gets a generated request id.  The id rides on a
+:mod:`contextvars` context variable for the duration of the handler
+(``ThreadingHTTPServer`` gives each request its own thread, and each
+thread its own context), so anything that emits an event while the
+request is being served — the service layer, the miner, the flight
+recorder — is stamped with it automatically.  The same id goes out as
+the ``X-Request-Id`` response header and in the JSON response body, so
+one grep correlates a log line, a span, a flight-recorder entry and the
+wire response.
+
+:class:`EventLog` renders each event as one sorted-JSON line through a
+stdlib :mod:`logging` logger (so existing ``--log-level`` plumbing and
+handlers apply) and keeps a bounded in-memory ring for the flight
+recorder and the tests.  Timestamps come from the injectable clock, so
+an event stream is byte-identical across runs under a ``FakeClock``.
+
+:class:`RequestIdSource` issues ids from a thread-safe counter —
+``req-00000001``, ``req-00000002``, ... — deterministic on purpose: the
+golden service-session fixture replays byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import deque
+from contextvars import ContextVar, Token
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.clock import Clock
+
+__all__ = [
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENTS",
+    "RequestIdSource",
+    "current_request_id",
+    "reset_request_id",
+    "set_request_id",
+]
+
+# The request id of the request currently being served on this thread
+# (None outside a request). ContextVar, not a thread-local, so async
+# frameworks layered on top later inherit the right semantics for free.
+_request_id_var: ContextVar[str | None] = ContextVar("repro_request_id", default=None)
+
+
+def current_request_id() -> str | None:
+    """The id of the request being served in this context, if any."""
+    return _request_id_var.get()
+
+
+def set_request_id(request_id: str | None) -> Token:
+    """Bind the current context's request id; returns the reset token."""
+    return _request_id_var.set(request_id)
+
+
+def reset_request_id(token: Token) -> None:
+    """Restore the binding ``set_request_id`` replaced.
+
+    Keep-alive connections serve many requests on one handler thread, so
+    the HTTP layer must unbind at request end or a later un-bound emit
+    would inherit a stale id.
+    """
+    _request_id_var.reset(token)
+
+
+class RequestIdSource:
+    """Thread-safe issuer of sequential request ids (``req-%08d``)."""
+
+    __slots__ = ("_lock", "_next")
+
+    def __init__(self, start: int = 1) -> None:
+        self._lock = threading.Lock()
+        self._next = start
+
+    def issue(self) -> str:
+        with self._lock:
+            value = self._next
+            self._next += 1
+        return f"req-{value:08d}"
+
+
+class EventLog:
+    """Bounded, thread-safe structured event log.
+
+    Each event is a flat dict with at least ``event``, ``ts`` and (when
+    inside a request) ``request_id``; it is kept in a ring of the most
+    recent ``capacity`` events and emitted as one canonical JSON line at
+    INFO level on ``logger_name``.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: "Clock | None" = None,
+        capacity: int = 1024,
+        logger_name: str = "repro.events",
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if clock is None:
+            from repro.obs.clock import default_clock
+
+            clock = default_clock()
+        self._clock = clock
+        self._logger = logging.getLogger(logger_name)
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+
+    def emit(self, event: str, **fields: object) -> dict[str, object]:
+        """Record one event; returns the completed record."""
+        record: dict[str, object] = dict(fields)
+        record["event"] = event
+        record["ts"] = self._clock()
+        request_id = current_request_id()
+        if request_id is not None and "request_id" not in record:
+            record["request_id"] = request_id
+        with self._lock:
+            self._ring.append(record)
+        self._logger.info("%s", json.dumps(record, sort_keys=True))
+        return record
+
+    def tail(self, limit: int | None = None) -> list[dict[str, object]]:
+        """The most recent events, oldest first."""
+        with self._lock:
+            events = list(self._ring)
+        return events if limit is None else events[-limit:]
+
+    def for_request(self, request_id: str) -> list[dict[str, object]]:
+        """Every retained event stamped with ``request_id``."""
+        return [
+            event for event in self.tail() if event.get("request_id") == request_id
+        ]
+
+    def render_lines(self) -> str:
+        """The retained events as newline-separated canonical JSON."""
+        return "\n".join(
+            json.dumps(event, sort_keys=True) for event in self.tail()
+        )
+
+
+class NullEventLog:
+    """Disabled event log: emits nothing, retains nothing."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields: object) -> dict[str, object]:
+        return {}
+
+    def tail(self, limit: int | None = None) -> list[dict[str, object]]:
+        return []
+
+    def for_request(self, request_id: str) -> list[dict[str, object]]:
+        return []
+
+    def render_lines(self) -> str:
+        return ""
+
+
+NULL_EVENTS = NullEventLog()

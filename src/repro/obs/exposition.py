@@ -1,0 +1,244 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+:func:`render_exposition` turns a :meth:`MetricsRegistry.snapshot` into
+the plain-text format every Prometheus-compatible scraper understands:
+one ``# TYPE`` line per family, samples keyed ``name{label="value"}``
+with labels sorted, histograms expanded into **cumulative**
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  The output is
+a pure function of the snapshot — byte-stable under a ``FakeClock``,
+which the determinism suite pins.
+
+:func:`validate_exposition` is the in-repo round-trip check: it parses
+an exposition document back and returns a list of violations (empty
+means valid).  It is deliberately strict about the invariants a real
+scraper relies on — every sample preceded by a matching ``# TYPE``,
+histogram buckets cumulative and non-decreasing, the ``+Inf`` bucket
+equal to ``_count`` — and both the test suite and the CI service smoke
+pipe ``GET /metrics`` output through it.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["CONTENT_TYPE", "render_exposition", "validate_exposition"]
+
+# The content type Prometheus scrapers send and expect for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SERIES_KEY_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$", re.DOTALL)
+# Registry series keys store label values *raw* (escaping happens only
+# at render time), so a value may itself contain quotes or newlines.
+# Each value therefore runs non-greedily to the quote that precedes
+# either the next label or the end of the key.
+_RAW_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="(.*?)"(?=,[a-zA-Z_][a-zA-Z0-9_]*="|$)', re.DOTALL
+)
+# Wire-format label pairs (validator side) are escaped, so quotes inside
+# values only appear backslashed.
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(?:[^{}]*)\})?\s+(-?(?:[0-9.eE+-]+|Inf|NaN))$"
+)
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+
+
+def _parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a registry series key back into (name, labels)."""
+    match = _SERIES_KEY_RE.match(key)
+    if match is None:
+        raise ValueError(f"unparseable series key: {key!r}")
+    name, raw_labels = match.group(1), match.group(2)
+    labels: dict[str, str] = {}
+    if raw_labels:
+        labels = dict(_RAW_LABEL_PAIR_RE.findall(raw_labels))
+    return name, labels
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: object) -> str:
+    """Deterministic sample rendering: integral values as integers."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _render_labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+    pairs = [(key, labels[key]) for key in sorted(labels)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in pairs)
+    return f"{{{inner}}}"
+
+
+def render_exposition(snapshot: dict[str, object]) -> str:
+    """A :meth:`MetricsRegistry.snapshot` as Prometheus text format 0.0.4."""
+    families: dict[str, list[str]] = {}
+    family_types: dict[str, str] = {}
+
+    def family(name: str, kind: str) -> list[str]:
+        if name not in families:
+            families[name] = []
+            family_types[name] = kind
+        elif family_types[name] != kind:
+            raise ValueError(
+                f"metric family {name!r} used as both "
+                f"{family_types[name]} and {kind}"
+            )
+        return families[name]
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _parse_series_key(key)
+        family(name, "counter").append(
+            f"{name}{_render_labels(labels)} {_format_value(value)}"
+        )
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _parse_series_key(key)
+        family(name, "gauge").append(
+            f"{name}{_render_labels(labels)} {_format_value(value)}"
+        )
+    for key, data in snapshot.get("histograms", {}).items():
+        name, labels = _parse_series_key(key)
+        lines = family(name, "histogram")
+        buckets = data["buckets"]
+        bounds = sorted(
+            (bucket[3:] for bucket in buckets if bucket != "le=+Inf"), key=float
+        )
+        cumulative = 0
+        for bound in bounds:
+            cumulative += buckets[f"le={bound}"]
+            lines.append(
+                f"{name}_bucket{_render_labels(labels, ('le', bound))} "
+                f"{_format_value(cumulative)}"
+            )
+        cumulative += buckets["le=+Inf"]
+        lines.append(
+            f"{name}_bucket{_render_labels(labels, ('le', '+Inf'))} "
+            f"{_format_value(cumulative)}"
+        )
+        lines.append(f"{name}_sum{_render_labels(labels)} {_format_value(data['sum'])}")
+        lines.append(
+            f"{name}_count{_render_labels(labels)} {_format_value(data['count'])}"
+        )
+
+    out: list[str] = []
+    for name in sorted(families):
+        out.append(f"# TYPE {name} {family_types[name]}")
+        out.extend(families[name])
+    return "\n".join(out) + "\n" if out else ""
+
+
+# -- validation ---------------------------------------------------------------
+
+
+def _strip_histogram_suffix(name: str) -> tuple[str, str | None]:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, None
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Check an exposition document; returns problems (empty = valid)."""
+    errors: list[str] = []
+    declared: dict[str, str] = {}
+    seen_series: set[str] = set()
+    # histogram family -> label-fingerprint -> {"buckets": [(le, v)...], ...}
+    histograms: dict[str, dict[str, dict[str, object]]] = {}
+
+    if text and not text.endswith("\n"):
+        errors.append("document does not end with a newline")
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                continue
+            match = _TYPE_RE.match(line)
+            if match is None:
+                errors.append(f"line {lineno}: malformed comment line: {line!r}")
+                continue
+            name = match.group(1)
+            if name in declared:
+                errors.append(f"line {lineno}: duplicate TYPE for {name!r}")
+            declared[name] = match.group(2)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value = match.group(1), match.group(2), match.group(3)
+        labels: dict[str, str] = {}
+        if raw_labels:
+            labels = dict(_LABEL_PAIR_RE.findall(raw_labels))
+        if f"{name}{raw_labels or ''}" in seen_series:
+            errors.append(f"line {lineno}: duplicate series {name}{raw_labels or ''}")
+        seen_series.add(f"{name}{raw_labels or ''}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            errors.append(f"line {lineno}: unparseable value {raw_value!r}")
+            continue
+
+        base, suffix = _strip_histogram_suffix(name)
+        if suffix is not None and declared.get(base) == "histogram":
+            family = histograms.setdefault(base, {})
+            fingerprint = ",".join(
+                f"{k}={labels[k]}" for k in sorted(labels) if k != "le"
+            )
+            entry = family.setdefault(fingerprint, {"buckets": []})
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                entry["buckets"].append((labels["le"], value))
+            else:
+                entry[suffix] = value
+            continue
+        if name not in declared:
+            errors.append(f"line {lineno}: sample {name!r} has no preceding TYPE")
+            continue
+        kind = declared[name]
+        if kind == "histogram":
+            errors.append(
+                f"line {lineno}: histogram family {name!r} exposes a bare sample"
+            )
+        elif kind == "counter" and value < 0:
+            errors.append(f"line {lineno}: counter {name!r} is negative")
+
+    for base in sorted(histograms):
+        entries = histograms[base]
+        for fingerprint in sorted(entries):
+            entry = entries[fingerprint]
+            where = f"{base}{{{fingerprint}}}" if fingerprint else base
+            buckets = entry["buckets"]
+            if not buckets:
+                errors.append(f"{where}: histogram with no buckets")
+                continue
+            if buckets[-1][0] != "+Inf":
+                errors.append(f"{where}: last bucket is not le=+Inf")
+                continue
+            finite = [value for le, value in buckets[:-1]]
+            if any(b > a for a, b in zip(finite[1:] + [buckets[-1][1]], finite)):
+                errors.append(f"{where}: bucket counts are not cumulative")
+            if "_count" not in entry:
+                errors.append(f"{where}: histogram without a _count sample")
+            elif buckets[-1][1] != entry["_count"]:
+                errors.append(
+                    f"{where}: +Inf bucket {buckets[-1][1]} != _count {entry['_count']}"
+                )
+            if "_sum" not in entry:
+                errors.append(f"{where}: histogram without a _sum sample")
+    return errors

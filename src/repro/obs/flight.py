@@ -1,0 +1,117 @@
+"""Flight recorder: a bounded ring of recent request traces and events.
+
+Long-lived services fail at 3am, and the spans of the offending request
+are long gone by the time anyone attaches a debugger.  The
+:class:`FlightRecorder` keeps the last ``capacity`` completed requests —
+request id, endpoint, HTTP status, the structured events emitted while
+serving it, and the finished span tree — in memory, cheap enough to run
+always-on.  ``GET /debug/flight`` dumps it on demand, and the HTTP layer
+writes it to a file automatically when a handler crashes with an
+unhandled 5xx, so the post-mortem ships with the incident.
+
+Entries are JSON-compatible dicts from the moment they are recorded;
+dumping never touches live span objects, so a dump taken mid-traffic is
+internally consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+
+__all__ = ["FlightRecorder", "NullFlightRecorder", "NULL_FLIGHT"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded recorder of per-request observability data."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, object]] = deque(maxlen=capacity)
+        self._recorded = 0
+
+    def record(
+        self,
+        request_id: str,
+        method: str,
+        path: str,
+        status: int,
+        events: list[dict[str, object]] | None = None,
+        trace: dict[str, object] | None = None,
+    ) -> dict[str, object]:
+        """Add one completed request; returns the stored entry."""
+        entry: dict[str, object] = {
+            "request_id": request_id,
+            "method": method,
+            "path": path,
+            "status": status,
+            "events": list(events) if events else [],
+            "trace": trace,
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+        return entry
+
+    def entries(self) -> list[dict[str, object]]:
+        """Retained entries, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def for_request(self, request_id: str) -> list[dict[str, object]]:
+        return [
+            entry for entry in self.entries() if entry["request_id"] == request_id
+        ]
+
+    def to_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "retained": len(self._ring),
+                "entries": list(self._ring),
+            }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def write(self, path: str | Path) -> Path:
+        """Dump the recorder to ``path`` as JSON; returns the path."""
+        destination = Path(path)
+        destination.write_text(self.to_json(indent=2) + "\n")
+        return destination
+
+
+class NullFlightRecorder:
+    """Disabled recorder: records nothing, dumps empty."""
+
+    enabled = False
+    capacity = 0
+
+    def record(self, request_id, method, path, status, events=None, trace=None):
+        return {}
+
+    def entries(self) -> list[dict[str, object]]:
+        return []
+
+    def for_request(self, request_id: str) -> list[dict[str, object]]:
+        return []
+
+    def to_dict(self) -> dict[str, object]:
+        return {"capacity": 0, "recorded": 0, "retained": 0, "entries": []}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def write(self, path):
+        raise RuntimeError("cannot write a disabled flight recorder")
+
+
+NULL_FLIGHT = NullFlightRecorder()

@@ -13,9 +13,19 @@ instrument out of their loops and call ``inc``/``observe`` directly.
 Label values are stringified at creation so a series key is stable and
 serializable.
 
+Instruments are thread-safe: the service's ``ThreadingHTTPServer``
+increments request counters from many handler threads at once, and the
+sampling profiler reads from its own daemon thread.  Every instrument a
+registry hands out shares that registry's single lock, so
+:meth:`MetricsRegistry.snapshot` (taken under the same lock) can never
+observe a half-applied update — no torn reads, no lost increments.
+
 :meth:`MetricsRegistry.snapshot` renders everything as one sorted,
 JSON-compatible dict keyed ``name{label="value",...}`` — byte-identical
 across identical runs, which the determinism suite relies on.
+:meth:`MetricsRegistry.merge` folds another registry's snapshot into
+this one — the bridge that carries pool-worker counters back across the
+process boundary (see ``docs/observability.md``).
 
 :class:`NullMetrics` is the disabled twin: every accessor returns one
 shared no-op instrument, so un-instrumented code pays a method call and
@@ -25,6 +35,7 @@ nothing else.
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 
 __all__ = [
@@ -55,15 +66,17 @@ def _series_key(name: str, labels: dict[str, str]) -> str:
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: threading.Lock | None = None) -> None:
         self.value = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.value})"
@@ -72,19 +85,23 @@ class Counter:
 class Gauge:
     """A value that can move in either direction."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: threading.Lock | None = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.value})"
@@ -98,9 +115,13 @@ class Histogram:
     stored non-cumulatively and summed on demand.
     """
 
-    __slots__ = ("bounds", "counts", "sum", "count")
+    __slots__ = ("bounds", "counts", "sum", "count", "_lock")
 
-    def __init__(self, bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS) -> None:
+    def __init__(
+        self,
+        bounds: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+        lock: threading.Lock | None = None,
+    ) -> None:
         ordered = tuple(float(bound) for bound in bounds)
         if not ordered or any(
             upper <= lower for lower, upper in zip(ordered, ordered[1:])
@@ -110,13 +131,18 @@ class Histogram:
         self.counts = [0] * (len(ordered) + 1)
         self.sum = 0.0
         self.count = 0
+        self._lock = lock if lock is not None else threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
-        self.count += 1
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
 
     def to_dict(self) -> dict[str, object]:
+        # Lock-free on purpose: registry snapshots call this while already
+        # holding the shared lock (a plain Lock would deadlock otherwise).
         buckets = {f"le={bound:g}": count for bound, count in zip(self.bounds, self.counts)}
         buckets["le=+Inf"] = self.counts[-1]
         return {"buckets": buckets, "sum": self.sum, "count": self.count}
@@ -131,6 +157,7 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -139,17 +166,19 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels: object) -> Counter:
         key = _series_key(name, {k: str(v) for k, v in labels.items()})
-        instrument = self._counters.get(key)
-        if instrument is None:
-            instrument = self._counters[key] = Counter()
-        return instrument
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter(lock=self._lock)
+            return instrument
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         key = _series_key(name, {k: str(v) for k, v in labels.items()})
-        instrument = self._gauges.get(key)
-        if instrument is None:
-            instrument = self._gauges[key] = Gauge()
-        return instrument
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(lock=self._lock)
+            return instrument
 
     def histogram(
         self,
@@ -158,42 +187,53 @@ class MetricsRegistry:
         **labels: object,
     ) -> Histogram:
         key = _series_key(name, {k: str(v) for k, v in labels.items()})
-        instrument = self._histograms.get(key)
-        if instrument is None:
-            instrument = self._histograms[key] = Histogram(buckets)
-        return instrument
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram(buckets, lock=self._lock)
+            return instrument
 
     # -- reading --------------------------------------------------------------
 
     def counter_value(self, name: str, **labels: object) -> int | float:
         """The current value of a counter series; ``0`` if never touched."""
         key = _series_key(name, {k: str(v) for k, v in labels.items()})
-        instrument = self._counters.get(key)
-        return instrument.value if instrument is not None else 0
+        with self._lock:
+            instrument = self._counters.get(key)
+            return instrument.value if instrument is not None else 0
 
     def series(self, prefix: str = "") -> dict[str, object]:
         """Flat ``series key -> value`` view (histograms as dicts)."""
         merged: dict[str, object] = {}
-        for key in sorted(self._counters):
-            if key.startswith(prefix):
-                merged[key] = self._counters[key].value
-        for key in sorted(self._gauges):
-            if key.startswith(prefix):
-                merged[key] = self._gauges[key].value
-        for key in sorted(self._histograms):
-            if key.startswith(prefix):
-                merged[key] = self._histograms[key].to_dict()
+        with self._lock:
+            for key in sorted(self._counters):
+                if key.startswith(prefix):
+                    merged[key] = self._counters[key].value
+            for key in sorted(self._gauges):
+                if key.startswith(prefix):
+                    merged[key] = self._gauges[key].value
+            for key in sorted(self._histograms):
+                if key.startswith(prefix):
+                    merged[key] = self._histograms[key].to_dict()
         return merged
 
     def snapshot(self) -> dict[str, object]:
-        """Everything, grouped by kind, every level sorted."""
-        return {
-            "counters": {key: self._counters[key].value for key in sorted(self._counters)},
-            "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
-            "histograms": {
-                key: self._histograms[key].to_dict() for key in sorted(self._histograms)
-            },
-        }
+        """Everything, grouped by kind, every level sorted.
+
+        Taken under the registry lock, so concurrent increments from
+        other threads are either fully in or fully out — never torn.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    key: self._counters[key].value for key in sorted(self._counters)
+                },
+                "gauges": {key: self._gauges[key].value for key in sorted(self._gauges)},
+                "histograms": {
+                    key: self._histograms[key].to_dict()
+                    for key in sorted(self._histograms)
+                },
+            }
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=indent)
@@ -201,16 +241,64 @@ class MetricsRegistry:
     def render_text(self) -> str:
         """A plain ``series value`` listing for terminals."""
         lines: list[str] = []
-        for key in sorted(self._counters):
-            lines.append(f"{key} {self._counters[key].value}")
-        for key in sorted(self._gauges):
-            lines.append(f"{key} {self._gauges[key].value:g}")
-        for key in sorted(self._histograms):
-            histogram = self._histograms[key]
-            lines.append(
-                f"{key} count={histogram.count} sum={histogram.sum:.6f}s"
-            )
+        with self._lock:
+            for key in sorted(self._counters):
+                lines.append(f"{key} {self._counters[key].value}")
+            for key in sorted(self._gauges):
+                lines.append(f"{key} {self._gauges[key].value:g}")
+            for key in sorted(self._histograms):
+                histogram = self._histograms[key]
+                lines.append(
+                    f"{key} count={histogram.count} sum={histogram.sum:.6f}s"
+                )
         return "\n".join(lines)
+
+    # -- merging --------------------------------------------------------------
+
+    def merge(self, snapshot: dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process bridge: pool workers record into a local
+        registry and ship ``registry.snapshot()`` back with their shard
+        counts; the parent merges each arriving snapshot here.  Counters
+        add, gauges take the incoming value (last write wins), histograms
+        add bucket counts / sum / count — a histogram series arriving
+        with different bucket bounds than the resident one is a
+        programming error and raises.
+        """
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        histograms = snapshot.get("histograms", {})
+        with self._lock:
+            for key, value in counters.items():
+                instrument = self._counters.get(key)
+                if instrument is None:
+                    instrument = self._counters[key] = Counter(lock=self._lock)
+                instrument.value += value
+            for key, value in gauges.items():
+                instrument = self._gauges.get(key)
+                if instrument is None:
+                    instrument = self._gauges[key] = Gauge(lock=self._lock)
+                instrument.value = value
+            for key, data in histograms.items():
+                buckets = data.get("buckets", {})
+                bounds = tuple(
+                    sorted(float(bucket[3:]) for bucket in buckets if bucket != "le=+Inf")
+                )
+                resident = self._histograms.get(key)
+                if resident is None:
+                    resident = self._histograms[key] = Histogram(bounds, lock=self._lock)
+                incoming_keys = [f"le={bound:g}" for bound in resident.bounds]
+                incoming_keys.append("le=+Inf")
+                if sorted(incoming_keys) != sorted(buckets):
+                    raise ValueError(
+                        f"histogram {key!r} arrived with mismatched buckets: "
+                        f"{sorted(buckets)} != {sorted(incoming_keys)}"
+                    )
+                for index, bucket in enumerate(incoming_keys):
+                    resident.counts[index] += buckets[bucket]
+                resident.sum += data.get("sum", 0.0)
+                resident.count += data.get("count", 0)
 
 
 class _NullInstrument:
@@ -268,6 +356,9 @@ class NullMetrics:
 
     def snapshot(self) -> dict[str, object]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict[str, object]) -> None:
+        pass
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=indent)

@@ -1,0 +1,143 @@
+"""Sampling wall-clock profiler over ``sys._current_frames``.
+
+A stdlib-only statistical profiler: a daemon thread wakes every
+``interval`` seconds, snapshots every live thread's Python frame stack,
+and accumulates collapsed stacks (``outer;inner;innermost``) in a
+counter.  Unlike ``cProfile`` it adds no per-call tracing overhead to
+the profiled code — the cost is one stack walk per sample — so it is
+safe to run against the live service (``GET /debug/profile?seconds=N``)
+or a full mine (``python -m repro mine --profile``).
+
+When a :class:`~repro.obs.tracer.Tracer` is attached, each sample is
+prefixed with the span path currently open on the sampled thread
+(``mine.level>mine.level.count``), attributing wall time to the miner's
+own phases rather than to anonymous Python frames.
+
+The report is the collapsed-stack format (``stack count`` per line)
+that flamegraph tooling consumes directly.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter as _StackCounter
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from types import FrameType
+
+    from repro.obs.tracer import Tracer
+
+__all__ = ["SamplingProfiler"]
+
+
+def _collapse(frame: "FrameType", limit: int = 64) -> str:
+    """A frame chain as ``file:function`` segments, outermost first."""
+    segments: list[str] = []
+    current: "FrameType | None" = frame
+    while current is not None and len(segments) < limit:
+        code = current.f_code
+        segments.append(f"{Path(code.co_filename).name}:{code.co_name}")
+        current = current.f_back
+    segments.reverse()
+    return ";".join(segments)
+
+
+class SamplingProfiler:
+    """Periodic whole-process stack sampler (daemon thread).
+
+    Use as a context manager or via :meth:`start` / :meth:`stop`; samples
+    accumulate across starts until :meth:`reset`.  The sampling loop
+    paces itself with ``threading.Event.wait`` — no direct clock calls,
+    so the profiler itself stays inside the repo's clock discipline.
+    """
+
+    def __init__(self, interval: float = 0.01, tracer: "Tracer | None" = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.samples: _StackCounter[str] = _StackCounter()
+        self.total_samples = 0
+        self._tracer = tracer
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    def reset(self) -> None:
+        with self._lock:
+            self.samples.clear()
+            self.total_samples = 0
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------------
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            self._sample(own_id)
+
+    def _sample(self, own_id: int) -> None:
+        span_paths = self._tracer.active_paths() if self._tracer is not None else {}
+        frames = sys._current_frames()
+        with self._lock:
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                stack = _collapse(frame)
+                prefix = ">".join(span_paths.get(thread_id, ()))
+                if prefix:
+                    stack = f"[{prefix}];{stack}"
+                self.samples[stack] += 1
+                self.total_samples += 1
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, limit: int | None = None) -> str:
+        """Collapsed stacks, hottest first, one ``stack count`` per line."""
+        with self._lock:
+            ranked = sorted(self.samples.items(), key=lambda item: (-item[1], item[0]))
+            total = self.total_samples
+        if limit is not None:
+            ranked = ranked[:limit]
+        lines = [
+            f"# sampling profile: {total} samples at {self.interval * 1e3:g}ms",
+        ]
+        lines.extend(f"{stack} {count}" for stack, count in ranked)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "interval": self.interval,
+                "total_samples": self.total_samples,
+                "samples": dict(
+                    sorted(self.samples.items(), key=lambda item: (-item[1], item[0]))
+                ),
+            }

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.obs.clock import Clock
+from repro.obs.events import EventLog, NULL_EVENTS, NullEventLog
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS, NullMetrics
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -53,7 +54,7 @@ class Telemetry:
     no-op.
     """
 
-    __slots__ = ("tracer", "metrics", "clock", "enabled")
+    __slots__ = ("tracer", "metrics", "clock", "enabled", "events")
 
     def __init__(
         self,
@@ -61,6 +62,7 @@ class Telemetry:
         metrics: MetricsRegistry | NullMetrics,
         clock: Clock | None = None,
         enabled: bool = True,
+        events: EventLog | NullEventLog = NULL_EVENTS,
     ) -> None:
         if clock is None:
             from repro.obs.clock import default_clock
@@ -70,6 +72,7 @@ class Telemetry:
         self.metrics = metrics
         self.clock = clock
         self.enabled = enabled
+        self.events = events
 
     @classmethod
     def create(cls, clock: Clock | None = None) -> "Telemetry":
@@ -77,7 +80,13 @@ class Telemetry:
         from repro.obs.clock import default_clock
 
         clock = clock if clock is not None else default_clock()
-        return cls(Tracer(clock), MetricsRegistry(), clock=clock, enabled=True)
+        return cls(
+            Tracer(clock),
+            MetricsRegistry(),
+            clock=clock,
+            enabled=True,
+            events=EventLog(clock=clock),
+        )
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -111,11 +120,44 @@ class Telemetry:
                     )
         return mismatches
 
+    def reconcile_workers(self) -> list[str]:
+        """Cross-check merged worker counters against parent bookkeeping.
+
+        When the parallel engine merges a worker's metrics snapshot it
+        also counts, parent-side, how many tasks it merged
+        (``pool_events{kind="task_merged"}``) and how many candidate
+        itemsets those tasks covered (``worker_itemsets_expected``).
+        The workers themselves counted the same things independently
+        (``worker_tasks``, ``worker_itemsets``) before shipping their
+        snapshots, so after the merge the two sides must agree exactly.
+        Vacuous when no parallel counting ran (all four counters zero).
+        """
+        if not self.enabled:
+            return []
+        mismatches: list[str] = []
+        pairs = (
+            ("worker_tasks", "pool_events", {"kind": "task_merged"}),
+            ("worker_itemsets", "worker_itemsets_expected", {}),
+        )
+        for worker_metric, parent_metric, parent_labels in pairs:
+            observed = sum(
+                value
+                for key, value in self.metrics.series(worker_metric).items()
+                if key == worker_metric or key.startswith(worker_metric + "{")
+            )
+            expected = self.metrics.counter_value(parent_metric, **parent_labels)
+            if observed != expected:
+                mismatches.append(
+                    f"{worker_metric} = {observed} merged from workers but "
+                    f"parent counted {parent_metric} = {expected}"
+                )
+        return mismatches
+
     # -- run report -----------------------------------------------------------
 
     def run_report(self, level_stats: Sequence["LevelStats"]) -> dict[str, object]:
         """The JSON-compatible run report (see the module docstring)."""
-        mismatches = self.reconcile(level_stats)
+        mismatches = self.reconcile(level_stats) + self.reconcile_workers()
         levels = [
             {
                 "level": stats.level,
@@ -148,6 +190,7 @@ class Telemetry:
             "kernel_dispatch": self.metrics.series("kernel_dispatch"),
             "autotune": self.metrics.series("kernel_autotune"),
             "pool": self.metrics.series("pool_events"),
+            "workers": self.metrics.series("worker_"),
         }
 
     def render_summary(self, level_stats: Sequence["LevelStats"]) -> str:
@@ -163,7 +206,7 @@ class Telemetry:
                 f"{stats.significant:>7} {stats.not_significant:>9} "
                 f"{stats.wall_seconds * 1e3:>10.2f} {stats.counting_seconds * 1e3:>10.2f}"
             )
-        mismatches = self.reconcile(level_stats)
+        mismatches = self.reconcile(level_stats) + self.reconcile_workers()
         if self.enabled:
             lines.append(
                 "reconciliation: "
@@ -178,6 +221,7 @@ class Telemetry:
                 _render_rollup("autotune", self.metrics.series("kernel_autotune"))
             )
             lines.extend(_render_rollup("pool", self.metrics.series("pool_events")))
+            lines.extend(_render_rollup("workers", self.metrics.series("worker_")))
         else:
             lines.append("telemetry disabled (counters empty; timings are zero)")
         return "\n".join(lines)

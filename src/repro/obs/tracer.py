@@ -30,6 +30,7 @@ nothing.
 from __future__ import annotations
 
 import json
+import threading
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -90,9 +91,13 @@ class Span:
 class Tracer:
     """Collects a forest of spans using one (injectable) clock.
 
-    Not thread-safe by design: one tracer belongs to one mining run on
-    one thread (worker processes get their own telemetry or none — see
-    ``docs/observability.md``).
+    Thread-safe by way of per-thread span stacks: spans nest within the
+    thread that opened them (the service's ``ThreadingHTTPServer`` runs
+    one handler thread per request, each building its own root), and
+    roots are appended under a lock.  The sampling profiler reads the
+    open-span paths from its own daemon thread via :meth:`span_path` /
+    :meth:`active_paths`.  Worker *processes* still get their own
+    telemetry or none — see ``docs/observability.md``.
     """
 
     enabled = True
@@ -104,7 +109,8 @@ class Tracer:
             clock = default_clock()
         self._clock = clock
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._stacks: dict[int, list[Span]] = {}
+        self._lock = threading.Lock()
 
     # -- recording ------------------------------------------------------------
 
@@ -113,26 +119,56 @@ class Tracer:
         return Span(name, attributes, self)
 
     def _enter(self, span: Span) -> None:
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._stacks.setdefault(threading.get_ident(), [])
+        if stack:
+            stack[-1].children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._lock:
+                self.roots.append(span)
+        stack.append(span)
         span.start = self._clock()
 
     def _exit(self, span: Span) -> None:
         span.end = self._clock()
         # Tolerate exits out of order (a span leaked across a generator):
         # unwind to the matching frame rather than corrupting the stack.
-        while self._stack:
-            top = self._stack.pop()
+        thread_id = threading.get_ident()
+        stack = self._stacks.get(thread_id)
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
+        if not stack:
+            # Handler threads are short-lived; drop the empty stack so a
+            # long-running service does not accumulate one per request.
+            self._stacks.pop(thread_id, None)
 
     def clear(self) -> None:
         """Drop every recorded span (open spans included)."""
-        self.roots.clear()
-        self._stack.clear()
+        with self._lock:
+            self.roots.clear()
+            self._stacks.clear()
+
+    # -- live introspection (profiler support) --------------------------------
+
+    def span_path(self, thread_id: int | None = None) -> tuple[str, ...]:
+        """Names of the spans currently open on a thread, outermost first."""
+        if thread_id is None:
+            thread_id = threading.get_ident()
+        stack = self._stacks.get(thread_id)
+        if not stack:
+            return ()
+        # Snapshot first: the owning thread may be pushing/popping.
+        return tuple(span.name for span in list(stack))
+
+    def active_paths(self) -> dict[int, tuple[str, ...]]:
+        """Open-span paths for every thread with at least one open span."""
+        paths: dict[int, tuple[str, ...]] = {}
+        for thread_id in list(self._stacks):
+            path = self.span_path(thread_id)
+            if path:
+                paths[thread_id] = path
+        return paths
 
     # -- exporters ------------------------------------------------------------
 

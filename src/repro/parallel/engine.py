@@ -98,7 +98,23 @@ def _init_worker(shards: list) -> None:
 
 
 def _count_task(shard_index: int, candidates: Sequence[tuple[int, ...]]):
-    return _WORKER_SHARDS[shard_index].count_cells(candidates)
+    """Count one shard's cells and ship a worker metrics snapshot back.
+
+    Each task records into a fresh worker-local registry — what the
+    shard's kernels dispatched (``kernel_dispatch``), the autotuner's
+    decisions (``kernel_autotune``), and its own bookkeeping
+    (``worker_tasks``, ``worker_itemsets``) — and returns its snapshot
+    alongside the counts so the parent can fold it into the run's
+    registry (:meth:`repro.obs.MetricsRegistry.merge`).  Registries do
+    not cross process boundaries; snapshots do.
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("worker_tasks").inc()
+    registry.counter("worker_itemsets").inc(len(candidates))
+    counts = _WORKER_SHARDS[shard_index].count_cells(candidates, metrics=registry)
+    return counts, registry.snapshot()
 
 
 class ParallelCountingEngine:
@@ -206,8 +222,12 @@ class ParallelCountingEngine:
         self.degraded = False
         # The parent-side kernel dispatcher: serial batches run through
         # it, so its cost model learns across every level of a mine.
+        # It shares the telemetry clock so learned choices are
+        # deterministic under a FakeClock.
         self.dispatcher = KernelDispatcher(
-            mode=self._dispatch_mode(), metrics=self.telemetry.metrics
+            mode=self._dispatch_mode(),
+            metrics=self.telemetry.metrics,
+            clock=self.telemetry.clock,
         )
         # Measured seconds-per-itemset by mode, steering adaptive dispatch.
         self._mode_unit: dict[str, float | None] = {"serial": None, "parallel": None}
@@ -497,8 +517,12 @@ class ParallelCountingEngine:
         metrics = self.telemetry.metrics
         clock = self.telemetry.clock
         candidates = [itemset.items for itemset in itemsets]
+        # Deadlines stay on the real monotonic clock on purpose: a hung
+        # worker must still time out when tests inject a FakeClock.
         deadline = (
-            time.monotonic() + self.task_timeout if self.task_timeout is not None else None
+            time.monotonic() + self.task_timeout  # replint: disable=RPR013 -- pool timeouts must track real elapsed time even under an injected FakeClock
+            if self.task_timeout is not None
+            else None
         )
         try:
             dispatched_at = clock()
@@ -511,14 +535,22 @@ class ParallelCountingEngine:
             per_shard: list[list[dict[int, int]]] = []
             for shard, result in zip(self.shards, pending):
                 if deadline is None:
-                    per_shard.append(result.get())
+                    counts, worker_snapshot = result.get()
                 else:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - time.monotonic()  # replint: disable=RPR013 -- pool timeouts must track real elapsed time even under an injected FakeClock
                     if remaining <= 0:
                         raise multiprocessing.TimeoutError
-                    per_shard.append(result.get(timeout=remaining))
-                # Workers run un-instrumented, so per-shard time is the
-                # parent-side dispatch-to-arrival wait (queueing included).
+                    counts, worker_snapshot = result.get(timeout=remaining)
+                per_shard.append(counts)
+                # The task's worker-side counters (kernel_dispatch,
+                # kernel_autotune, worker_*) fold into the parent
+                # registry here, with matching parent-side bookkeeping
+                # for Telemetry.reconcile_workers to check against.
+                metrics.merge(worker_snapshot)
+                metrics.counter("pool_events", kind="task_merged").inc()
+                metrics.counter("worker_itemsets_expected").inc(len(candidates))
+                # Per-shard wall time is the parent-side dispatch-to-
+                # arrival wait (queueing included), not in-worker CPU.
                 metrics.histogram("shard_task_seconds", shard=shard.index).observe(
                     clock() - dispatched_at
                 )

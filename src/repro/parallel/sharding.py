@@ -122,12 +122,16 @@ class Shard:
             self._db = BasketDatabase(self.baskets, vocabulary)
         return self._db
 
-    def count_cells(self, candidates: Sequence[tuple[int, ...]]) -> list[dict[int, int]]:
+    def count_cells(
+        self, candidates: Sequence[tuple[int, ...]], metrics=None
+    ) -> list[dict[int, int]]:
         """Sparse cell counts, one dict per candidate, over this shard only.
 
         ``candidates`` are plain sorted id-tuples (the cheap wire format);
         each returned dict maps cell index to the shard-local count, the
-        counts of any one dict summing to :attr:`n_baskets`.
+        counts of any one dict summing to :attr:`n_baskets`.  ``metrics``
+        (a :class:`repro.obs.MetricsRegistry`) receives the worker-side
+        ``kernel_dispatch``/``kernel_autotune`` counters for this task.
         """
         if self.fault == "crash":
             raise RuntimeError(f"injected crash in shard {self.index}")
@@ -142,7 +146,10 @@ class Shard:
 
             mode = resolved if resolved in ("blocked", "moebius", "scan") else "auto"
             return count_cells_batch(
-                db, itemsets, dispatcher=_worker_dispatcher(mode)
+                db,
+                itemsets,
+                metrics=metrics,
+                dispatcher=_worker_dispatcher(mode, metrics=metrics),
             )
         return [count_cells(db, itemset) for itemset in itemsets]
 

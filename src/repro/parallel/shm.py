@@ -143,10 +143,20 @@ _LOCAL_INDEXES: dict[tuple[str, int, int], PackedBitmapIndex] = {}
 _DISPATCHERS: dict[str, KernelDispatcher] = {}
 
 
-def _worker_dispatcher(mode: str) -> KernelDispatcher:
+def _worker_dispatcher(mode: str, metrics=None) -> KernelDispatcher:
+    """The worker's cached dispatcher, pointed at this task's registry.
+
+    Workers are single-threaded, so rebinding ``metrics`` per task is
+    race-free: each counting task hands in its own fresh registry (see
+    ``repro.parallel.engine._count_task``), records its autotune
+    decisions there, and ships the snapshot back with its results.  The
+    learned unit costs live on the cached dispatcher and keep
+    accumulating across tasks regardless of which registry is bound.
+    """
     dispatcher = _DISPATCHERS.get(mode)
     if dispatcher is None:
         dispatcher = _DISPATCHERS[mode] = KernelDispatcher(mode=mode)
+    dispatcher.metrics = metrics
     return dispatcher
 
 
@@ -277,9 +287,14 @@ class PackedShard:
         return self._local
 
     def count_cells(
-        self, candidates: Sequence[tuple[int, ...]]
+        self, candidates: Sequence[tuple[int, ...]], metrics=None
     ) -> list[dict[int, int]]:
-        """Sparse shard-local cell counts, one dict per candidate."""
+        """Sparse shard-local cell counts, one dict per candidate.
+
+        ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
+        worker-side ``kernel_dispatch``/``kernel_autotune`` counters for
+        this task; the caller ships its snapshot back to the parent.
+        """
         if self.fault == "crash":
             raise RuntimeError(f"injected crash in shard {self.index}")
         if self.fault == "hang":  # pragma: no cover - timing-dependent
@@ -289,8 +304,15 @@ class PackedShard:
         from repro.kernels import count_cells_batch_packed
 
         mode = self.kernel if self.kernel in ("blocked", "moebius", "scan") else "auto"
+        record = None
+        if metrics is not None:
+            def record(path: str, n: int) -> None:
+                metrics.counter("kernel_dispatch", path=path).inc(n)
         return count_cells_batch_packed(
-            self.local_index(), candidates, dispatcher=_worker_dispatcher(mode)
+            self.local_index(),
+            candidates,
+            dispatcher=_worker_dispatcher(mode, metrics=metrics),
+            record=record,
         )
 
     def __repr__(self) -> str:

@@ -13,10 +13,19 @@ mid-append leaves the previous generation untouched.
 Instrumentation rides the existing obs layer on a *service-lifetime*
 telemetry bundle: one span per request, a
 ``service_requests{endpoint,status}`` counter, an ``index_generation``
-gauge, and per-endpoint latency histograms
-(``service_seconds{endpoint}``).  Mining itself records into a *fresh*
+gauge, per-endpoint latency histograms (``service_seconds{endpoint}``),
+and one structured ``service.request`` event per call.  When the HTTP
+layer bound a request id for the current context, the root span is
+annotated with it and every event emitted while serving the request
+carries it automatically.  Mining itself records into a *fresh*
 per-append telemetry (so :meth:`Telemetry.reconcile` stays exact per
-run); the append response carries that run's reconciliation verdict.
+run); the append response carries that run's reconciliation verdict,
+and the run's deterministic kernel/worker counters are folded into the
+service-lifetime registry so ``GET /metrics`` sees them.
+
+The completed root span of the most recent request on this context is
+published through :func:`last_request_trace` — the HTTP layer reads it
+to build flight-recorder entries without reaching into the tracer.
 
 Responses are JSON-compatible dicts containing no timing data, so a
 scripted session is byte-reproducible — the golden wire-format tests
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.core.correlation import CorrelationTest
@@ -34,12 +44,37 @@ from repro.core.contingency import ContingencyTable
 from repro.core.itemsets import Itemset
 from repro.core.mining import IncrementalMiner
 from repro.core.report import rule_to_dict, significance_summary
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_TELEMETRY, Telemetry, current_request_id
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fptree import FPTreePairEngine
 
-__all__ = ["MiningService"]
+__all__ = ["MiningService", "clear_last_trace", "last_request_trace"]
+
+# The finished span tree of the most recent service call on this
+# context.  A ContextVar (not service state) so concurrent handler
+# threads each see their own request's trace.
+_last_trace_var: ContextVar[dict | None] = ContextVar("repro_last_trace", default=None)
+
+# Counter series from a mining run that are safe to accumulate on the
+# service-lifetime registry: pure counts of work done (not timings), so
+# the lifetime totals stay meaningful across appends.
+_MERGED_COUNTER_PREFIXES = (
+    "kernel_dispatch",
+    "kernel_autotune",
+    "pool_events",
+    "worker_",
+)
+
+
+def last_request_trace() -> dict | None:
+    """The completed root span of this context's most recent request."""
+    return _last_trace_var.get()
+
+
+def clear_last_trace() -> None:
+    """Reset the per-context trace slot (call at request start)."""
+    _last_trace_var.set(None)
 
 
 class MiningService:
@@ -99,22 +134,36 @@ class MiningService:
 
         The span closes on every path (the tracer finishes it in
         ``__exit__`` even when the body raises); the status label
-        records whether the handler succeeded.
+        records whether the handler succeeded.  The root span carries
+        the request id the HTTP layer bound (when any), a structured
+        ``service.request`` event is emitted, and the finished span
+        tree is published for the flight recorder — on error paths too.
         """
         clock = self.telemetry.clock
         start = clock()
         status = "error"
-        with self.telemetry.tracer.span(f"service.{endpoint}"):
-            try:
-                yield
-                status = "ok"
-            finally:
-                self.telemetry.metrics.counter(
-                    "service_requests", endpoint=endpoint, status=status
-                ).inc()
-                self.telemetry.metrics.histogram(
-                    "service_seconds", endpoint=endpoint
-                ).observe(clock() - start)
+        request_id = current_request_id()
+        span = self.telemetry.tracer.span(f"service.{endpoint}")
+        try:
+            with span:
+                if request_id is not None:
+                    span.annotate(request_id=request_id)
+                try:
+                    yield
+                    status = "ok"
+                finally:
+                    self.telemetry.metrics.counter(
+                        "service_requests", endpoint=endpoint, status=status
+                    ).inc()
+                    self.telemetry.metrics.histogram(
+                        "service_seconds", endpoint=endpoint
+                    ).observe(clock() - start)
+                    self.telemetry.events.emit(
+                        "service.request", endpoint=endpoint, status=status
+                    )
+        finally:
+            if self.telemetry.enabled:
+                _last_trace_var.set(span.to_dict())
 
     # -- shared payload pieces ------------------------------------------------
 
@@ -137,6 +186,26 @@ class MiningService:
             cumulative_tests=self.miner.cumulative_tests,
         )
 
+    def _absorb_run_metrics(self, run_telemetry: Telemetry) -> None:
+        """Fold a mining run's kernel/worker counters into this registry.
+
+        Each append mines with a fresh telemetry bundle so per-run
+        reconciliation stays exact; without this fold the worker-side
+        ``kernel_dispatch``/``kernel_autotune`` counters the parallel
+        engine merged up from its pool would never reach ``/metrics``.
+        Only plain work counters travel — per-run gauges and latency
+        histograms stay with the run report they describe.
+        """
+        if not (self.telemetry.enabled and run_telemetry.enabled):
+            return
+        counters = {
+            key: value
+            for key, value in run_telemetry.metrics.snapshot()["counters"].items()
+            if key.startswith(_MERGED_COUNTER_PREFIXES)
+        }
+        if counters:
+            self.telemetry.metrics.merge({"counters": counters})
+
     # -- endpoints ------------------------------------------------------------
 
     def append(
@@ -153,6 +222,12 @@ class MiningService:
                 report = outcome.result.run_report()
                 reconciliation = report["reconciliation"]
                 self._last_reconciliation_agreed = bool(reconciliation["agreed"])  # type: ignore[index]
+                self._absorb_run_metrics(outcome.result.telemetry)
+            self.telemetry.events.emit(
+                "service.append",
+                generation=outcome.generation,
+                appended=outcome.n_appended,
+            )
             return {
                 "generation": outcome.generation,
                 "appended": outcome.n_appended,

@@ -1,0 +1,30 @@
+"""Fixture: time read through an injectable clock (RPR013)."""
+
+import time
+
+
+def time_a_batch(kernel, batch, clock):
+    start = clock()
+    kernel(batch)
+    return clock() - start
+
+
+def stamp_event(record, clock):
+    record["ts"] = clock()
+    return record
+
+
+def backoff(seconds):
+    # Sleeping is not a clock read; only the three read functions are
+    # banned, so pacing with time.sleep stays legal.
+    time.sleep(seconds)
+
+
+def monotonic():
+    # A local function that happens to share a banned name is not the
+    # stdlib's; the rule resolves through the import alias map.
+    return 0.0
+
+
+def local_counter():
+    return monotonic()

@@ -1,0 +1,19 @@
+"""Fixture: direct clock reads in library code (RPR013)."""
+
+import time as walltime
+from time import perf_counter
+
+
+def time_a_batch(kernel, batch):
+    start = perf_counter()
+    kernel(batch)
+    return perf_counter() - start
+
+
+def deadline_in(seconds):
+    return walltime.monotonic() + seconds
+
+
+def stamp_event(record):
+    record["ts"] = walltime.time()
+    return record

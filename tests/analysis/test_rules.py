@@ -22,6 +22,7 @@ MODULE_RULES = [
     "RPR009",
     "RPR010",
     "RPR011",
+    "RPR013",
 ]
 
 

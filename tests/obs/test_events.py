@@ -1,0 +1,135 @@
+"""The structured event log and request-id plumbing.
+
+Events are canonical JSON lines through stdlib logging plus a bounded
+in-memory ring; request ids ride a context variable so anything that
+emits mid-request is stamped automatically.  Under a ``FakeClock`` two
+identical runs must produce byte-identical streams.
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    FakeClock,
+    NULL_EVENTS,
+    RequestIdSource,
+    current_request_id,
+    reset_request_id,
+    set_request_id,
+)
+
+
+class TestRequestIdSource:
+    def test_sequential_and_zero_padded(self):
+        source = RequestIdSource()
+        assert [source.issue() for _ in range(3)] == [
+            "req-00000001",
+            "req-00000002",
+            "req-00000003",
+        ]
+
+    def test_independent_sources_restart(self):
+        assert RequestIdSource().issue() == RequestIdSource().issue()
+
+
+class TestRequestIdContext:
+    def test_default_is_none(self):
+        assert current_request_id() is None
+
+    def test_set_and_reset(self):
+        token = set_request_id("req-00000009")
+        try:
+            assert current_request_id() == "req-00000009"
+        finally:
+            reset_request_id(token)
+        assert current_request_id() is None
+
+    def test_nested_bindings_unwind(self):
+        outer = set_request_id("outer")
+        inner = set_request_id("inner")
+        assert current_request_id() == "inner"
+        reset_request_id(inner)
+        assert current_request_id() == "outer"
+        reset_request_id(outer)
+
+
+class TestEventLog:
+    def test_emit_stamps_event_ts_and_request_id(self):
+        log = EventLog(clock=FakeClock())
+        token = set_request_id("req-00000001")
+        try:
+            record = log.emit("service.request", endpoint="append")
+        finally:
+            reset_request_id(token)
+        assert record["event"] == "service.request"
+        assert record["ts"] == 0.0
+        assert record["request_id"] == "req-00000001"
+        assert record["endpoint"] == "append"
+
+    def test_no_request_id_outside_requests(self):
+        log = EventLog(clock=FakeClock())
+        assert "request_id" not in log.emit("mine.start")
+
+    def test_explicit_request_id_wins(self):
+        log = EventLog(clock=FakeClock())
+        token = set_request_id("req-00000001")
+        try:
+            record = log.emit("x", request_id="req-override")
+        finally:
+            reset_request_id(token)
+        assert record["request_id"] == "req-override"
+
+    def test_ring_is_bounded(self):
+        log = EventLog(clock=FakeClock(), capacity=3)
+        for index in range(6):
+            log.emit("tick", index=index)
+        retained = log.tail()
+        assert [event["index"] for event in retained] == [3, 4, 5]
+        assert [event["index"] for event in log.tail(limit=2)] == [4, 5]
+
+    def test_for_request_filters(self):
+        log = EventLog(clock=FakeClock())
+        log.emit("a", request_id="req-1")
+        log.emit("b", request_id="req-2")
+        log.emit("c", request_id="req-1")
+        assert [e["event"] for e in log.for_request("req-1")] == ["a", "c"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_lines_go_through_stdlib_logging(self, caplog):
+        log = EventLog(clock=FakeClock())
+        with caplog.at_level(logging.INFO, logger="repro.events"):
+            log.emit("service.request", endpoint="status")
+        assert len(caplog.records) == 1
+        parsed = json.loads(caplog.records[0].getMessage())
+        assert parsed["event"] == "service.request"
+
+    def test_render_lines_is_canonical_and_deterministic(self):
+        def run():
+            log = EventLog(clock=FakeClock())
+            token = set_request_id("req-00000001")
+            try:
+                log.emit("service.request", endpoint="append", status="ok")
+                log.emit("service.append", generation=1, appended=4)
+            finally:
+                reset_request_id(token)
+            return log.render_lines()
+
+        first, second = run(), run()
+        assert first == second
+        for line in first.splitlines():
+            assert line == json.dumps(json.loads(line), sort_keys=True)
+
+
+class TestNullEventLog:
+    def test_null_is_inert(self):
+        assert NULL_EVENTS.emit("anything", key="value") == {}
+        assert NULL_EVENTS.tail() == []
+        assert NULL_EVENTS.for_request("req-1") == []
+        assert NULL_EVENTS.render_lines() == ""
+        assert NULL_EVENTS.enabled is False

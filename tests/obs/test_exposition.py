@@ -1,0 +1,154 @@
+"""Prometheus text exposition: rendering and the in-repo validator.
+
+The render side must emit spec-shaped 0.0.4 text (one TYPE line per
+family, sorted labels, cumulative buckets capped by ``+Inf``); the
+validator must accept exactly that and reject the classic ways an
+exposition goes wrong.  Round-tripping our own renderer through our own
+validator is the invariant CI's service smoke also leans on.
+"""
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    render_exposition,
+    validate_exposition,
+)
+
+
+def populated_registry(clock=None):
+    clock = clock if clock is not None else FakeClock()
+    registry = MetricsRegistry()
+    registry.counter("requests", endpoint="append", status="ok").inc(3)
+    registry.counter("requests", endpoint="status", status="ok").inc()
+    registry.counter("plain_total").inc(7)
+    registry.gauge("generation").set(4)
+    histogram = registry.histogram("latency_seconds", endpoint="append")
+    for _ in range(5):
+        start = clock()
+        histogram.observe(clock() - start)
+    return registry
+
+
+class TestRender:
+    def test_round_trips_the_validator(self):
+        text = render_exposition(populated_registry().snapshot())
+        assert validate_exposition(text) == []
+
+    def test_families_are_typed_and_sorted(self):
+        text = render_exposition(populated_registry().snapshot())
+        lines = text.splitlines()
+        type_lines = [line for line in lines if line.startswith("# TYPE")]
+        names = [line.split()[2] for line in type_lines]
+        assert names == sorted(names)
+        assert "# TYPE requests counter" in type_lines
+        assert "# TYPE generation gauge" in type_lines
+        assert "# TYPE latency_seconds histogram" in type_lines
+
+    def test_labels_sorted_and_values_formatted(self):
+        text = render_exposition(populated_registry().snapshot())
+        assert 'requests{endpoint="append",status="ok"} 3' in text
+        assert "generation 4" in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_exposition(populated_registry().snapshot())
+        bucket_lines = [
+            line for line in text.splitlines() if "latency_seconds_bucket" in line
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in bucket_lines]
+        assert counts == sorted(counts)
+        assert bucket_lines[-1].startswith('latency_seconds_bucket{endpoint="append",le="+Inf"}')
+        assert counts[-1] == 5
+        assert 'latency_seconds_count{endpoint="append"} 5' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", path='we"ird\\name\n').inc()
+        text = render_exposition(registry.snapshot())
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        assert validate_exposition(text) == []
+
+    def test_empty_registry_renders_empty(self):
+        assert render_exposition(MetricsRegistry().snapshot()) == ""
+
+    def test_identical_fake_clock_runs_render_byte_identical(self):
+        first = render_exposition(populated_registry(FakeClock()).snapshot())
+        second = render_exposition(populated_registry(FakeClock()).snapshot())
+        assert first == second
+        assert first.endswith("\n")
+
+
+class TestValidator:
+    def test_rejects_missing_trailing_newline(self):
+        errors = validate_exposition("# TYPE a counter\na 1")
+        assert any("newline" in error for error in errors)
+
+    def test_rejects_sample_without_type(self):
+        errors = validate_exposition("orphan 3\n")
+        assert any("no preceding TYPE" in error for error in errors)
+
+    def test_rejects_duplicate_series(self):
+        document = "# TYPE a counter\na 1\na 2\n"
+        errors = validate_exposition(document)
+        assert any("duplicate series" in error for error in errors)
+
+    def test_rejects_negative_counter(self):
+        document = "# TYPE a counter\na -4\n"
+        errors = validate_exposition(document)
+        assert any("negative" in error for error in errors)
+
+    def test_rejects_non_cumulative_buckets(self):
+        document = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\n"
+            "h_count 5\n"
+        )
+        errors = validate_exposition(document)
+        assert any("cumulative" in error for error in errors)
+
+    def test_rejects_inf_count_mismatch(self):
+        document = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 2\n'
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1.0\n"
+            "h_count 9\n"
+        )
+        errors = validate_exposition(document)
+        assert any("_count" in error for error in errors)
+
+    def test_rejects_histogram_without_sum(self):
+        document = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1\n'
+            "h_count 1\n"
+        )
+        errors = validate_exposition(document)
+        assert any("_sum" in error for error in errors)
+
+    def test_rejects_missing_inf_bucket(self):
+        document = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="5"} 1\n'
+            "h_sum 0.5\n"
+            "h_count 1\n"
+        )
+        errors = validate_exposition(document)
+        assert any("+Inf" in error for error in errors)
+
+    def test_accepts_the_kitchen_sink(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("b", zone="x").set(-2.5)
+        registry.histogram("c").observe(0.2)
+        assert validate_exposition(render_exposition(registry.snapshot())) == []
+
+
+@pytest.mark.parametrize("kind_line", ["# TYPE h histogram\n# TYPE h counter\nh 1\n"])
+def test_rejects_duplicate_type_declarations(kind_line):
+    errors = validate_exposition(kind_line)
+    assert any("duplicate TYPE" in error for error in errors)

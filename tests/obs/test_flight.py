@@ -1,0 +1,103 @@
+"""The flight recorder: bounded, thread-safe, dump-stable."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, NULL_FLIGHT
+
+
+def entry(recorder, index, status=200):
+    return recorder.record(
+        f"req-{index:08d}",
+        "GET",
+        "/status",
+        status,
+        events=[{"event": "service.request", "request_id": f"req-{index:08d}"}],
+        trace={"name": "service.status", "children": []},
+    )
+
+
+class TestRecording:
+    def test_entry_shape(self):
+        recorder = FlightRecorder()
+        stored = entry(recorder, 1)
+        assert stored["request_id"] == "req-00000001"
+        assert stored["method"] == "GET"
+        assert stored["path"] == "/status"
+        assert stored["status"] == 200
+        assert stored["events"][0]["event"] == "service.request"
+        assert stored["trace"]["name"] == "service.status"
+
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=2)
+        for index in range(1, 5):
+            entry(recorder, index)
+        ids = [e["request_id"] for e in recorder.entries()]
+        assert ids == ["req-00000003", "req-00000004"]
+        dump = recorder.to_dict()
+        assert dump["capacity"] == 2
+        assert dump["recorded"] == 4
+        assert dump["retained"] == 2
+
+    def test_for_request(self):
+        recorder = FlightRecorder()
+        entry(recorder, 1)
+        entry(recorder, 2, status=404)
+        found = recorder.for_request("req-00000002")
+        assert len(found) == 1 and found[0]["status"] == 404
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_concurrent_records_all_land(self):
+        recorder = FlightRecorder(capacity=4096)
+        def hammer(base):
+            for index in range(100):
+                entry(recorder, base * 1000 + index)
+        threads = [threading.Thread(target=hammer, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.to_dict()["recorded"] == 400
+        assert len(recorder.entries()) == 400
+
+
+class TestDumps:
+    def test_write_is_pretty_json_with_newline(self, tmp_path):
+        recorder = FlightRecorder()
+        entry(recorder, 1)
+        path = recorder.write(tmp_path / "flight.json")
+        text = path.read_text()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert parsed["entries"][0]["request_id"] == "req-00000001"
+
+    def test_identical_recorders_dump_byte_identical(self, tmp_path):
+        def build():
+            recorder = FlightRecorder()
+            entry(recorder, 1)
+            entry(recorder, 2, status=500)
+            return recorder
+
+        first = build().write(tmp_path / "a.json").read_text()
+        second = build().write(tmp_path / "b.json").read_text()
+        assert first == second
+
+    def test_to_json_sorted_keys(self):
+        recorder = FlightRecorder()
+        entry(recorder, 1)
+        document = recorder.to_json()
+        assert document == json.dumps(json.loads(document), sort_keys=True)
+
+
+class TestNullFlight:
+    def test_null_is_inert_and_refuses_to_write(self, tmp_path):
+        assert NULL_FLIGHT.record("r", "GET", "/x", 200) == {}
+        assert NULL_FLIGHT.entries() == []
+        assert NULL_FLIGHT.to_dict()["retained"] == 0
+        with pytest.raises(RuntimeError):
+            NULL_FLIGHT.write(tmp_path / "never.json")

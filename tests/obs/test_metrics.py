@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -147,3 +148,130 @@ class TestNullMetrics:
             "histograms": {},
         }
         assert NULL_METRICS.render_text() == ""
+
+
+class TestThreadSafety:
+    """Concurrent mutation through one registry must lose no updates.
+
+    The service shares its lifetime registry between the HTTP handler
+    threads and the mining path, so every instrument routes through a
+    per-registry lock; these tests would flake constantly on the old
+    unlocked ``+=`` read-modify-write.
+    """
+
+    THREADS = 8
+    ROUNDS = 2_000
+
+    def _hammer(self, work) -> None:
+        barrier = threading.Barrier(self.THREADS)
+
+        def body() -> None:
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                work()
+
+        threads = [threading.Thread(target=body) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", endpoint="append")
+        self._hammer(counter.inc)
+        assert counter.value == self.THREADS * self.ROUNDS
+
+    def test_gauge_inc_dec_balance(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+
+        def work() -> None:
+            gauge.inc()
+            gauge.dec()
+
+        self._hammer(work)
+        assert gauge.value == 0
+
+    def test_histogram_count_matches_observations(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency")
+        self._hammer(lambda: histogram.observe(0.01))
+        total = self.THREADS * self.ROUNDS
+        assert histogram.count == total
+        assert sum(histogram.to_dict()["buckets"].values()) == total
+
+    def test_snapshot_under_concurrent_writes_stays_coherent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ticks")
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                counter.inc()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                assert snapshot["counters"]["ticks"] >= 0
+        finally:
+            stop.set()
+            thread.join()
+
+
+class TestMerge:
+    def test_counters_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("kernel_dispatch", backend="numpy").inc(3)
+        worker.counter("kernel_dispatch", backend="numpy").inc(5)
+        worker.counter("worker_tasks").inc(2)
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("kernel_dispatch", backend="numpy") == 8
+        assert parent.counter_value("worker_tasks") == 2
+
+    def test_gauges_last_write_wins(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("generation").set(3)
+        worker.gauge("generation").set(9)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("generation").value == 9
+
+    def test_histograms_add_buckets_sum_count(self):
+        bounds = (0.1, 1.0)
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("latency", buckets=bounds).observe(0.05)
+        worker.histogram("latency", buckets=bounds).observe(0.5)
+        worker.histogram("latency", buckets=bounds).observe(5.0)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("latency", buckets=bounds).to_dict()
+        assert merged["count"] == 3
+        assert merged["buckets"] == {"le=0.1": 1, "le=1": 1, "le=+Inf": 1}
+        assert merged["sum"] == pytest.approx(5.55)
+
+    def test_histogram_bound_mismatch_raises(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("latency", buckets=(0.1, 1.0)).observe(0.05)
+        worker.histogram("latency", buckets=(0.5,)).observe(0.05)
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            parent.merge(worker.snapshot())
+
+    def test_merge_into_empty_parent_adopts_everything(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        worker.counter("worker_itemsets").inc(11)
+        worker.histogram("latency").observe(0.2)
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("worker_itemsets") == 11
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_merge_is_associative_over_workers(self):
+        def worker(n: int) -> MetricsRegistry:
+            registry = MetricsRegistry()
+            registry.counter("worker_tasks").inc(n)
+            return registry
+
+        one_by_one = MetricsRegistry()
+        for n in (1, 2, 3):
+            one_by_one.merge(worker(n).snapshot())
+        assert one_by_one.counter_value("worker_tasks") == 6

@@ -1,0 +1,112 @@
+"""The sampling wall-clock profiler.
+
+Timing-dependent by nature, so assertions stay coarse: samples arrive,
+stacks look like collapsed frames, span prefixes attach when a tracer
+is wired in.  A spin loop (not a sleep) keeps the sampled thread's
+frames on CPU so even a slow CI box collects something.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import FakeClock, SamplingProfiler, Tracer
+
+
+def spin_until(stop_event):
+    while not stop_event.is_set():
+        sum(range(200))
+
+
+def run_profiled(profiler, seconds=0.3):
+    stop = threading.Event()
+    worker = threading.Thread(target=spin_until, args=(stop,), daemon=True)
+    worker.start()
+    try:
+        with profiler:
+            time.sleep(seconds)
+    finally:
+        stop.set()
+        worker.join(timeout=5)
+
+
+class TestSampling:
+    def test_collects_samples_from_live_threads(self):
+        profiler = SamplingProfiler(interval=0.005)
+        run_profiled(profiler)
+        assert profiler.total_samples > 0
+        assert any("test_profiler.py:spin_until" in stack for stack in profiler.samples)
+
+    def test_stacks_are_outermost_first(self):
+        profiler = SamplingProfiler(interval=0.005)
+        run_profiled(profiler)
+        stack = next(s for s in profiler.samples if "spin_until" in s)
+        segments = stack.split(";")
+        assert segments[-1].endswith(":spin_until") or "spin_until" in segments[-1]
+
+    def test_span_paths_prefix_samples(self):
+        tracer = Tracer(clock=FakeClock())
+        profiler = SamplingProfiler(interval=0.005, tracer=tracer)
+        stop = threading.Event()
+
+        def traced_spin():
+            with tracer.span("mine.level"):
+                with tracer.span("mine.level.count"):
+                    spin_until(stop)
+
+        worker = threading.Thread(target=traced_spin, daemon=True)
+        worker.start()
+        try:
+            with profiler:
+                time.sleep(0.3)
+        finally:
+            stop.set()
+            worker.join(timeout=5)
+        assert any(
+            stack.startswith("[mine.level>mine.level.count];")
+            for stack in profiler.samples
+        ), list(profiler.samples)[:5]
+
+    def test_report_header_and_ranking(self):
+        profiler = SamplingProfiler(interval=0.005)
+        run_profiled(profiler)
+        lines = profiler.report().splitlines()
+        assert lines[0].startswith("# sampling profile:")
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines[1:]]
+        assert counts == sorted(counts, reverse=True)
+        assert len(profiler.report(limit=1).splitlines()) == 2
+
+    def test_to_dict_totals_agree(self):
+        profiler = SamplingProfiler(interval=0.005)
+        run_profiled(profiler)
+        document = profiler.to_dict()
+        assert document["total_samples"] == sum(document["samples"].values())
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.05)
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+
+    def test_reset_clears_samples(self):
+        profiler = SamplingProfiler(interval=0.005)
+        run_profiled(profiler)
+        profiler.reset()
+        assert profiler.total_samples == 0
+        assert not profiler.samples
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
